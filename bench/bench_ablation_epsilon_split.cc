@@ -1,0 +1,97 @@
+// Ablation: the §4.1 ε-split optimization.
+//
+// Compares, at equal total error budget ε, the memory of
+//   (a) the optimal split ε_sw = ε_cm = √(1+ε)−1            (paper),
+//   (b) the naive additive split ε_sw = ε_cm = ε/2,
+//   (c) two lopsided splits,
+// and verifies that the observed error stays within the budget for all of
+// them (the split trades memory, not correctness).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace ecm::bench {
+namespace {
+
+constexpr uint64_t kWindow = 1 << 17;
+constexpr uint64_t kEvents = 300'000;
+constexpr double kDelta = 0.1;
+
+struct SplitResult {
+  size_t memory = 0;
+  double avg_err = 0.0;
+  double max_err = 0.0;
+};
+
+SplitResult RunSplit(const std::vector<StreamEvent>& events, double eps_sw,
+                     double eps_cm) {
+  auto cfg = EcmConfig::Create(eps_sw + eps_cm + eps_sw * eps_cm, kDelta,
+                               WindowMode::kTimeBased, kWindow, 41);
+  SplitResult out;
+  if (!cfg.ok()) return out;
+  // Override the automatic split.
+  cfg->epsilon_sw = eps_sw;
+  cfg->epsilon_cm = eps_cm;
+  cfg->width = static_cast<uint32_t>(std::ceil(std::exp(1.0) / eps_cm));
+  EcmSketch<ExponentialHistogram> sketch(*cfg);
+  for (const auto& e : events) sketch.Add(e.key, e.ts);
+  Timestamp now = events.back().ts;
+  double sum = 0.0;
+  size_t n = 0;
+  for (uint64_t range : ExponentialRanges(kWindow)) {
+    ErrorSummary s = MeasurePointErrors(sketch, events, now, range);
+    sum += s.avg * static_cast<double>(s.queries);
+    n += s.queries;
+    out.max_err = std::max(out.max_err, s.max);
+  }
+  out.avg_err = n ? sum / static_cast<double>(n) : 0.0;
+  out.memory = sketch.MemoryBytes();
+  return out;
+}
+
+void Run() {
+  auto events = LoadDataset(Dataset::kWc98, kEvents);
+  PrintHeader(
+      "Epsilon-split ablation (total budget eps=0.1, point queries)",
+      {"split", "eps_sw", "eps_cm", "memory_bytes", "avg_error",
+       "max_error"});
+  constexpr double kEps = 0.1;
+
+  struct Split {
+    const char* name;
+    double sw, cm;
+  };
+  double opt = PointSplitDeterministic(kEps);
+  // For non-optimal splits, solve cm from sw + cm + sw*cm = eps.
+  auto cm_for = [](double sw) { return (kEps - sw) / (1.0 + sw); };
+  Split splits[] = {
+      {"optimal sqrt(1+e)-1", opt, opt},
+      {"naive e/2 + e/2", kEps / 2, cm_for(kEps / 2)},
+      {"sw-heavy 0.08", 0.08, cm_for(0.08)},
+      {"cm-heavy 0.02", 0.02, cm_for(0.02)},
+  };
+  size_t best_memory = 0;
+  for (const Split& s : splits) {
+    SplitResult r = RunSplit(events, s.sw, s.cm);
+    if (s.name[0] == 'o') best_memory = r.memory;
+    PrintRow({s.name, FormatDouble(s.sw, 4), FormatDouble(s.cm, 4),
+              std::to_string(r.memory), FormatDouble(r.avg_err),
+              FormatDouble(r.max_err)});
+  }
+  std::printf(
+      "\nexpected shape: the optimal split minimizes memory (%zu bytes "
+      "here); the naive e/2 split is near-symmetric and lands within ~1%% "
+      "of it (the optimization matters for lopsided splits, which cost up "
+      "to ~2x); every split keeps observed error within the 0.1 budget\n",
+      best_memory);
+}
+
+}  // namespace
+}  // namespace ecm::bench
+
+int main() {
+  ecm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Shared harness utilities for the paper-reproduction benches: workload
+// construction, query-set generation (exponentially growing ranges, as in
+// §7.1), error measurement against exact ground truth, and row printing.
+
+#ifndef ECM_BENCH_BENCH_COMMON_H_
+#define ECM_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/ecm_sketch.h"
+#include "src/stream/event.h"
+#include "src/stream/generators.h"
+#include "src/stream/snmp_like.h"
+#include "src/stream/wc98_like.h"
+
+namespace ecm::bench {
+
+/// Which synthesized trace a bench row uses.
+enum class Dataset { kWc98, kSnmp };
+
+const char* DatasetName(Dataset d);
+
+/// Materializes the scaled synthetic trace for a dataset (deterministic).
+std::vector<StreamEvent> LoadDataset(Dataset d, uint64_t num_events,
+                                     uint64_t seed = 0);
+
+/// Query ranges growing exponentially as in the paper (§7.1: query q_i
+/// covers [t - 10^i, t]), capped at the window length.
+std::vector<uint64_t> ExponentialRanges(uint64_t window_len);
+
+/// Point-query error measurement over every distinct in-range key:
+/// err = |est - true| / ‖a_r‖₁ (the paper's metric). Returns (avg, max).
+struct ErrorSummary {
+  double avg = 0.0;
+  double max = 0.0;
+  size_t queries = 0;
+};
+
+template <SlidingWindowCounter Counter>
+ErrorSummary MeasurePointErrors(const EcmSketch<Counter>& sketch,
+                                const std::vector<StreamEvent>& events,
+                                Timestamp now, uint64_t range) {
+  ExactRangeStats exact = ComputeExactRangeStats(events, now, range);
+  ErrorSummary s;
+  if (exact.l1 == 0) return s;
+  double sum = 0.0;
+  for (const auto& [key, count] : exact.freqs) {
+    double est = sketch.PointQueryAt(key, range, now);
+    double err = std::abs(est - static_cast<double>(count)) /
+                 static_cast<double>(exact.l1);
+    sum += err;
+    s.max = std::max(s.max, err);
+    ++s.queries;
+  }
+  s.avg = s.queries ? sum / static_cast<double>(s.queries) : 0.0;
+  return s;
+}
+
+/// Self-join error: |est - true| / ‖a_r‖₁² (the paper's metric).
+template <SlidingWindowCounter Counter>
+double MeasureSelfJoinError(const EcmSketch<Counter>& sketch,
+                            const std::vector<StreamEvent>& events,
+                            Timestamp now, uint64_t range) {
+  ExactRangeStats exact = ComputeExactRangeStats(events, now, range);
+  if (exact.l1 == 0) return 0.0;
+  double est = sketch.InnerProductAt(sketch, range, now).value();
+  double denom = static_cast<double>(exact.l1) * static_cast<double>(exact.l1);
+  return std::abs(est - exact.self_join) / denom;
+}
+
+/// Feeds a full event vector into a sketch.
+template <SlidingWindowCounter Counter>
+void FeedAll(EcmSketch<Counter>* sketch, const std::vector<StreamEvent>& events) {
+  for (const StreamEvent& e : events) sketch->Add(e.key, e.ts);
+}
+
+/// Prints a header line (once) and aligned row values, CSV-ish for easy
+/// re-plotting.
+void PrintHeader(const std::string& title, const std::vector<std::string>& cols);
+void PrintRow(const std::vector<std::string>& cells);
+std::string FormatDouble(double v, int precision = 5);
+std::string FormatBytes(double bytes);
+
+}  // namespace ecm::bench
+
+#endif  // ECM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,122 @@
+// Continuous monitoring with the geometric method (§6.2): communication
+// cost of threshold-monitoring the sliding-window self-join size over
+// distributed streams, vs the sync-every-update and sync-periodically
+// baselines.
+//
+// Expected shape: the geometric monitor ships orders of magnitude fewer
+// bytes than naive synchronization at equal detection quality, and its
+// cost scales with the threshold margin (tight thresholds -> more local
+// violations -> more syncs).
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "bench/bench_common.h"
+#include "src/dist/geometric.h"
+
+namespace ecm::bench {
+namespace {
+
+constexpr uint64_t kWindow = 1 << 16;
+constexpr uint64_t kEvents = 60'000;
+constexpr int kSites = 4;
+
+void Run() {
+  auto cfg = EcmConfig::Create(0.1, 0.1, WindowMode::kTimeBased, kWindow, 61,
+                               OptimizeFor::kSelfJoinQueries);
+  if (!cfg.ok()) return;
+  auto events = LoadDataset(Dataset::kWc98, kEvents);
+  for (auto& e : events) e.node %= kSites;
+
+  // Reference global F2 at the end of the run (for threshold placement).
+  std::vector<EcmSketch<ExponentialHistogram>> probe(
+      kSites, EcmSketch<ExponentialHistogram>(*cfg));
+  for (const auto& e : events) probe[e.node].Add(e.key, e.ts);
+  auto final_f2 = GlobalSelfJoin(probe, kWindow, cfg->epsilon_sw, 1);
+  if (!final_f2.ok()) return;
+
+  PrintHeader(
+      "Geometric method: communication vs threshold margin (F2 "
+      "monitoring, 4 sites, eps=0.1)",
+      {"threshold/final_F2", "syncs", "local_violations", "bytes",
+       "bytes_vs_sync_always", "crossed"});
+
+  // Sync-always baseline cost: every update ships one site sketch.
+  uint64_t sync_always_bytes = 0;
+  {
+    std::vector<EcmSketch<ExponentialHistogram>> sites(
+        kSites, EcmSketch<ExponentialHistogram>(*cfg));
+    size_t probe_every = events.size() / 64;
+    uint64_t sampled = 0;
+    for (size_t i = 0; i < events.size(); ++i) {
+      sites[events[i].node].Add(events[i].key, events[i].ts);
+      if (i % probe_every == 0) sampled += SketchWireSize(sites[events[i].node]);
+    }
+    sync_always_bytes = sampled * (events.size() / 64);
+  }
+
+  for (double factor : {0.25, 0.5, 1.5, 4.0}) {
+    GeometricSelfJoinMonitor::Config mc;
+    mc.threshold = *final_f2 * factor;
+    mc.check_every = 8;
+    GeometricSelfJoinMonitor monitor(kSites, *cfg, mc);
+    for (const auto& e : events) monitor.Process(e.node, e.key, e.ts);
+    const MonitorStats& s = monitor.stats();
+    PrintRow({FormatDouble(factor, 2), std::to_string(s.syncs),
+              std::to_string(s.local_violations),
+              std::to_string(s.network.bytes),
+              FormatDouble(static_cast<double>(s.network.bytes) /
+                               static_cast<double>(sync_always_bytes),
+                           6),
+              monitor.AboveThreshold() ? "yes" : "no"});
+  }
+  std::printf(
+      "\nsync-always baseline: ~%llu bytes\n"
+      "expected shape: thresholds far from the trajectory cost almost "
+      "nothing; tight thresholds sync more; all runs orders of magnitude "
+      "below sync-always\n",
+      static_cast<unsigned long long>(sync_always_bytes));
+
+  // Point-query monitoring (§1 trigger): only the d counters of the
+  // watched key travel, so even frequent syncs are near-free.
+  PrintHeader(
+      "Geometric point monitor: watched-key threshold, bytes per run",
+      {"threshold", "syncs", "bytes", "crossed", "global_estimate"});
+  // Hot key: the most frequent key of the trace.
+  uint64_t hot_key = 1;
+  {
+    std::unordered_map<uint64_t, uint64_t> freq;
+    for (const auto& e : events) ++freq[e.key];
+    uint64_t best = 0;
+    for (const auto& [k, c] : freq) {
+      if (c > best) {
+        best = c;
+        hot_key = k;
+      }
+    }
+  }
+  for (double threshold : {500.0, 2000.0, 8000.0, 1e7}) {
+    GeometricPointMonitor::Config pc;
+    pc.key = hot_key;
+    pc.threshold = threshold;
+    pc.check_every = 4;
+    GeometricPointMonitor monitor(kSites, *cfg, pc);
+    for (const auto& e : events) monitor.Process(e.node, e.key, e.ts);
+    PrintRow({FormatDouble(threshold, 0),
+              std::to_string(monitor.stats().syncs),
+              std::to_string(monitor.stats().network.bytes),
+              monitor.AboveThreshold() ? "yes" : "no",
+              FormatDouble(monitor.GlobalEstimate(), 0)});
+  }
+  std::printf(
+      "expected shape: point-monitor syncs ship d doubles per site, so "
+      "total bytes stay in the KB range even with many syncs\n");
+}
+
+}  // namespace
+}  // namespace ecm::bench
+
+int main() {
+  ecm::bench::Run();
+  return 0;
+}

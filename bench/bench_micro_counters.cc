@@ -1,0 +1,148 @@
+// google-benchmark micro suite: per-operation latency of every sliding-
+// window counter (Add, Estimate at full and partial range) and of the
+// ECM-sketch hot paths (Add, point query, self-join) — the numbers behind
+// Table 2's asymptotic claims and Table 3's throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/count_min.h"
+#include "src/core/ecm_sketch.h"
+#include "src/core/equiwidth_cm.h"
+#include "src/util/random.h"
+
+namespace ecm {
+namespace {
+
+constexpr uint64_t kWindow = 1 << 17;
+
+template <typename Counter>
+Counter MakeCounter();
+
+template <>
+ExponentialHistogram MakeCounter<ExponentialHistogram>() {
+  return ExponentialHistogram({0.1, kWindow});
+}
+template <>
+DeterministicWave MakeCounter<DeterministicWave>() {
+  return DeterministicWave({0.1, kWindow, 1 << 17});
+}
+template <>
+RandomizedWave MakeCounter<RandomizedWave>() {
+  RandomizedWave::Config cfg;
+  cfg.epsilon = 0.1;
+  cfg.window_len = kWindow;
+  cfg.max_arrivals = 1 << 17;
+  return RandomizedWave(cfg);
+}
+template <>
+ExactWindow MakeCounter<ExactWindow>() { return ExactWindow({kWindow}); }
+template <>
+EquiWidthWindow MakeCounter<EquiWidthWindow>() {
+  return EquiWidthWindow({kWindow, 16});
+}
+
+template <typename Counter>
+void BM_CounterAdd(benchmark::State& state) {
+  Counter counter = MakeCounter<Counter>();
+  Timestamp t = 1;
+  for (auto _ : state) {
+    counter.Add(t);
+    t += 2;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterAdd<ExponentialHistogram>);
+BENCHMARK(BM_CounterAdd<DeterministicWave>);
+BENCHMARK(BM_CounterAdd<RandomizedWave>);
+BENCHMARK(BM_CounterAdd<ExactWindow>);
+BENCHMARK(BM_CounterAdd<EquiWidthWindow>);
+
+template <typename Counter>
+void BM_CounterEstimate(benchmark::State& state) {
+  Counter counter = MakeCounter<Counter>();
+  Timestamp t = 1;
+  for (int i = 0; i < 100000; ++i) {
+    counter.Add(t);
+    t += 2;
+  }
+  uint64_t range = static_cast<uint64_t>(state.range(0));
+  double sink = 0.0;
+  for (auto _ : state) {
+    sink += counter.Estimate(t, range);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_CounterEstimate<ExponentialHistogram>)->Arg(1000)->Arg(kWindow);
+BENCHMARK(BM_CounterEstimate<DeterministicWave>)->Arg(1000)->Arg(kWindow);
+BENCHMARK(BM_CounterEstimate<RandomizedWave>)->Arg(1000)->Arg(kWindow);
+BENCHMARK(BM_CounterEstimate<ExactWindow>)->Arg(1000)->Arg(kWindow);
+
+template <typename Counter>
+void BM_EcmAdd(benchmark::State& state) {
+  auto sketch = EcmSketch<Counter>::Create(
+      0.1, 0.1, WindowMode::kTimeBased, kWindow, 3,
+      OptimizeFor::kPointQueries, 1 << 17);
+  Rng rng(1);
+  Timestamp t = 1;
+  for (auto _ : state) {
+    sketch->Add(rng.Uniform(100000), t);
+    t += 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EcmAdd<ExponentialHistogram>);
+BENCHMARK(BM_EcmAdd<DeterministicWave>);
+BENCHMARK(BM_EcmAdd<RandomizedWave>);
+
+template <typename Counter>
+void BM_EcmPointQuery(benchmark::State& state) {
+  auto sketch = EcmSketch<Counter>::Create(
+      0.1, 0.1, WindowMode::kTimeBased, kWindow, 3,
+      OptimizeFor::kPointQueries, 1 << 17);
+  Rng rng(2);
+  Timestamp t = 1;
+  for (int i = 0; i < 200000; ++i) {
+    sketch->Add(rng.Uniform(100000), t);
+    ++t;
+  }
+  double sink = 0.0;
+  for (auto _ : state) {
+    sink += sketch->PointQuery(rng.Uniform(100000),
+                               static_cast<uint64_t>(state.range(0)));
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EcmPointQuery<ExponentialHistogram>)->Arg(1000)->Arg(kWindow);
+BENCHMARK(BM_EcmPointQuery<DeterministicWave>)->Arg(1000)->Arg(kWindow);
+
+void BM_EcmSelfJoin(benchmark::State& state) {
+  auto sketch = EcmEh::Create(0.1, 0.1, WindowMode::kTimeBased, kWindow, 3,
+                              OptimizeFor::kSelfJoinQueries);
+  Rng rng(3);
+  Timestamp t = 1;
+  for (int i = 0; i < 200000; ++i) {
+    sketch->Add(rng.Uniform(1000), t);
+    ++t;
+  }
+  double sink = 0.0;
+  for (auto _ : state) {
+    sink += sketch->SelfJoin(static_cast<uint64_t>(state.range(0)));
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EcmSelfJoin)->Arg(1000)->Arg(kWindow);
+
+void BM_CountMinAdd(benchmark::State& state) {
+  CountMinSketch cm = CountMinSketch::FromErrorBounds(0.05, 0.1, 1);
+  Rng rng(4);
+  for (auto _ : state) {
+    cm.Add(rng.Uniform(100000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinAdd);
+
+}  // namespace
+}  // namespace ecm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Ablation: multi-level aggregation error growth (§5.1).
+//
+// Measures the observed error of a tree-aggregated ECM-EH sketch as the
+// hierarchy height h grows (2^h leaves), against the analytic worst case
+// hε(1+ε)+ε, and shows the §5.1 calibration (initializing leaves with
+// LeafEpsilonForTarget) holding the root error at the target.
+//
+// Expected shape: observed error grows much slower than the bound (the
+// paper reports < 1/4 of the centralized error added after a full 33-node
+// aggregation), and calibrated trees stay at the target error while
+// uncalibrated ones drift upward.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/dist/aggregation_tree.h"
+
+namespace ecm::bench {
+namespace {
+
+constexpr uint64_t kWindow = 1 << 17;
+constexpr uint64_t kEvents = 300'000;
+constexpr double kEpsilon = 0.1;
+
+double AvgPointError(const EcmSketch<ExponentialHistogram>& sketch,
+                     const std::vector<StreamEvent>& events, Timestamp now) {
+  double sum = 0.0;
+  size_t n = 0;
+  for (uint64_t range : ExponentialRanges(kWindow)) {
+    ErrorSummary s = MeasurePointErrors(sketch, events, now, range);
+    sum += s.avg * static_cast<double>(s.queries);
+    n += s.queries;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double RunTree(const std::vector<StreamEvent>& events, int height,
+               double leaf_eps) {
+  uint32_t nodes = 1u << height;
+  auto cfg = EcmConfig::Create(leaf_eps, 0.1, WindowMode::kTimeBased,
+                               kWindow, 31);
+  if (!cfg.ok()) return -1.0;
+  std::vector<EcmSketch<ExponentialHistogram>> leaves(
+      nodes, EcmSketch<ExponentialHistogram>(*cfg));
+  uint64_t i = 0;
+  for (const auto& e : events) leaves[i++ % nodes].Add(e.key, e.ts);
+  Timestamp now = events.back().ts;
+  for (auto& s : leaves) s.AdvanceTo(now);
+  auto agg = AggregateTree(leaves);
+  if (!agg.ok()) return -1.0;
+  return AvgPointError(agg->root, events, now);
+}
+
+void Run() {
+  auto events = LoadDataset(Dataset::kWc98, kEvents);
+
+  PrintHeader(
+      "Multi-level aggregation: observed root error vs height (leaf "
+      "eps=0.1)",
+      {"height", "leaves", "observed_error", "analytic_bound",
+       "observed/bound"});
+  for (int h = 0; h <= 7; ++h) {
+    double err = RunTree(events, h, kEpsilon);
+    double bound = MultiLevelErrorBound(kEpsilon, h);
+    PrintRow({std::to_string(h), std::to_string(1 << h), FormatDouble(err),
+              FormatDouble(bound), FormatDouble(err / bound, 3)});
+  }
+
+  PrintHeader(
+      "Calibrated leaves (LeafEpsilonForTarget, target root eps=0.1)",
+      {"height", "leaf_epsilon", "observed_error", "target"});
+  for (int h = 1; h <= 7; ++h) {
+    double leaf_eps = LeafEpsilonForTarget(kEpsilon, h);
+    double err = RunTree(events, h, leaf_eps);
+    PrintRow({std::to_string(h), FormatDouble(leaf_eps, 4),
+              FormatDouble(err), FormatDouble(kEpsilon, 2)});
+  }
+  std::printf(
+      "\nexpected shape: observed error a small fraction of the analytic "
+      "bound and growing mildly with height; calibrated trees hold the "
+      "target at the cost of tighter (bigger) leaves\n");
+}
+
+}  // namespace
+}  // namespace ecm::bench
+
+int main() {
+  ecm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Sliding-window heavy hitters & quantiles — the §6.1 dyadic stack on the
+// wc'98-like workload: "which pages are hot over the last 30 seconds, and
+// how is the request mass distributed over the key space?"
+//
+//   $ ./example_heavy_hitters_dashboard
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/core/dyadic.h"
+#include "src/stream/wc98_like.h"
+
+using namespace ecm;
+
+int main() {
+  constexpr uint64_t kWindowMs = 30'000;
+  constexpr int kDomainBits = 17;  // pages are ids < 131072
+
+  auto dashboard = DyadicEcm<ExponentialHistogram>::Create(
+      kDomainBits, /*epsilon=*/0.01, /*delta=*/0.05, WindowMode::kTimeBased,
+      kWindowMs, /*seed=*/42);
+  if (!dashboard.ok()) {
+    std::fprintf(stderr, "%s\n", dashboard.status().ToString().c_str());
+    return 1;
+  }
+
+  Wc98Config wc;
+  wc.num_events = 300'000;
+  wc.events_per_ms = 3.0;
+  auto events = GenerateWc98Like(wc);
+  std::printf("replaying %zu requests (~%.0f s of traffic)...\n\n",
+              events.size(), events.back().ts / 1000.0);
+
+  Timestamp next_report = 30'000;
+  for (const auto& e : events) {
+    dashboard->Add(e.key, e.ts);
+    if (e.ts >= next_report) {
+      next_report += 30'000;
+      double l1 = dashboard->EstimateL1(kWindowMs);
+      auto hot = dashboard->HeavyHitters(/*phi_ratio=*/0.02, kWindowMs);
+      std::printf("t=%5.0fs  ~%.0f req in window, %zu pages above 2%%:\n",
+                  e.ts / 1000.0, l1, hot.size());
+      for (const auto& h : hot) {
+        std::printf("    page %-7" PRIu64 " ~%6.0f hits (%.1f%%)\n", h.key,
+                    h.estimate, 100.0 * h.estimate / l1);
+      }
+      std::printf(
+          "    key-space quantiles (25/50/90%%): %" PRIu64 " / %" PRIu64
+          " / %" PRIu64 "   range [0,1000): ~%.0f hits\n",
+          dashboard->Quantile(0.25, kWindowMs),
+          dashboard->Quantile(0.5, kWindowMs),
+          dashboard->Quantile(0.9, kWindowMs),
+          dashboard->RangeQuery(0, 999, kWindowMs));
+    }
+  }
+  std::printf("\ndashboard memory: %.1f KB for a %d-bit key space\n",
+              dashboard->MemoryBytes() / 1024.0, kDomainBits);
+  return 0;
+}

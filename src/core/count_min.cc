@@ -1,0 +1,70 @@
+#include "src/core/count_min.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ecm {
+
+CountMinSketch::CountMinSketch(uint32_t width, int depth, uint64_t seed)
+    : width_(width), depth_(depth), hashes_(seed, depth) {
+  assert(width_ > 0 && depth_ > 0);
+  table_.assign(static_cast<size_t>(width_) * depth_, 0);
+}
+
+CountMinSketch CountMinSketch::FromErrorBounds(double epsilon, double delta,
+                                               uint64_t seed) {
+  assert(epsilon > 0 && delta > 0 && delta < 1);
+  auto width = static_cast<uint32_t>(std::ceil(std::exp(1.0) / epsilon));
+  int depth = std::max(1, static_cast<int>(std::ceil(std::log(1.0 / delta))));
+  return CountMinSketch(width, depth, seed);
+}
+
+void CountMinSketch::Add(uint64_t key, uint64_t count) {
+  for (int j = 0; j < depth_; ++j) {
+    counter_ref(j, hashes_.Bucket(j, key, width_)) += count;
+  }
+  l1_ += count;
+}
+
+uint64_t CountMinSketch::PointQuery(uint64_t key) const {
+  uint64_t best = std::numeric_limits<uint64_t>::max();
+  for (int j = 0; j < depth_; ++j) {
+    best = std::min(best, counter(j, hashes_.Bucket(j, key, width_)));
+  }
+  return best;
+}
+
+Result<uint64_t> CountMinSketch::InnerProduct(
+    const CountMinSketch& other) const {
+  if (!CompatibleWith(other)) {
+    return Status::Incompatible(
+        "InnerProduct requires equal width/depth/seed");
+  }
+  uint64_t best = std::numeric_limits<uint64_t>::max();
+  for (int j = 0; j < depth_; ++j) {
+    uint64_t row_sum = 0;
+    for (uint32_t i = 0; i < width_; ++i) {
+      row_sum += counter(j, i) * other.counter(j, i);
+    }
+    best = std::min(best, row_sum);
+  }
+  return best;
+}
+
+uint64_t CountMinSketch::SelfJoin() const {
+  auto r = InnerProduct(*this);
+  return *r;  // always compatible with itself
+}
+
+Status CountMinSketch::MergeWith(const CountMinSketch& other) {
+  if (!CompatibleWith(other)) {
+    return Status::Incompatible("MergeWith requires equal width/depth/seed");
+  }
+  for (size_t i = 0; i < table_.size(); ++i) table_[i] += other.table_[i];
+  l1_ += other.l1_;
+  return Status::OK();
+}
+
+}  // namespace ecm

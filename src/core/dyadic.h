@@ -1,0 +1,165 @@
+// Dyadic ECM-sketch stack (paper §6.1): log|U| ECM-sketches, the i-th
+// summarizing dyadic ranges of length 2^i, enabling over sliding windows:
+//
+//  * heavy hitters by group testing (Theorem 5): recursive descent from
+//    the coarsest ranges, pruning every dyadic range whose estimated
+//    in-window frequency is below the threshold;
+//  * range queries: any [lo, hi] decomposes into <= 2·log|U| dyadic
+//    ranges whose estimates sum;
+//  * quantiles: binary search over prefix-range sums.
+//
+// The threshold φ can be an absolute count or a ratio of the in-window
+// arrivals ‖a_r‖₁; for the ratio form the paper recommends estimating
+// ‖a_r‖₁ from sketch CM₀ itself (average of per-row counter sums) rather
+// than a separate synopsis — implemented in EcmSketch::EstimateL1.
+
+#ifndef ECM_CORE_DYADIC_H_
+#define ECM_CORE_DYADIC_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/core/ecm_sketch.h"
+
+namespace ecm {
+
+/// One dyadic interval [prefix·2^level, (prefix+1)·2^level - 1].
+struct DyadicRange {
+  int level;
+  uint64_t prefix;
+};
+
+/// Decomposes the inclusive key interval [lo, hi] (within a domain of
+/// 2^domain_bits keys) into at most 2·domain_bits disjoint dyadic ranges.
+std::vector<DyadicRange> DyadicDecompose(uint64_t lo, uint64_t hi,
+                                         int domain_bits);
+
+/// A heavy-hitter report entry.
+struct HeavyHitter {
+  uint64_t key;
+  double estimate;  ///< estimated in-window frequency
+};
+
+/// Sliding-window frequent-items / range-query / quantile structure.
+template <SlidingWindowCounter Counter = ExponentialHistogram>
+class DyadicEcm {
+ public:
+  /// \param domain_bits  keys live in [0, 2^domain_bits)
+  /// \param config       configuration shared by all level sketches (the
+  ///                     per-level hash seeds are derived from it)
+  DyadicEcm(int domain_bits, const EcmConfig& config)
+      : domain_bits_(domain_bits) {
+    levels_.reserve(domain_bits_);
+    for (int i = 0; i < domain_bits_; ++i) {
+      EcmConfig level_cfg = config;
+      level_cfg.seed = Mix64(config.seed + 0x1234567ULL * (i + 1));
+      levels_.emplace_back(level_cfg);
+    }
+  }
+
+  static Result<DyadicEcm> Create(int domain_bits, double epsilon,
+                                  double delta, WindowMode mode,
+                                  uint64_t window_len, uint64_t seed,
+                                  uint64_t max_arrivals = 1 << 20) {
+    if (domain_bits < 1 || domain_bits > 63) {
+      return Status::InvalidArgument("domain_bits must be in [1, 63]");
+    }
+    constexpr auto family = std::is_same_v<Counter, RandomizedWave>
+                                ? CounterFamily::kRandomized
+                                : CounterFamily::kDeterministic;
+    auto cfg = EcmConfig::Create(epsilon, delta, mode, window_len, seed,
+                                 OptimizeFor::kPointQueries, family,
+                                 max_arrivals);
+    if (!cfg.ok()) return cfg.status();
+    return DyadicEcm(domain_bits, *cfg);
+  }
+
+  /// Registers `count` occurrences of `key` (< 2^domain_bits) at `ts`.
+  void Add(uint64_t key, Timestamp ts, uint64_t count = 1) {
+    for (int i = 0; i < domain_bits_; ++i) {
+      levels_[i].Add(key >> i, ts, count);
+    }
+  }
+
+  /// Estimated number of in-window arrivals with key in [lo, hi].
+  double RangeQuery(uint64_t lo, uint64_t hi, uint64_t range) const {
+    double sum = 0.0;
+    for (const DyadicRange& r : DyadicDecompose(lo, hi, domain_bits_)) {
+      sum += levels_[r.level].PointQuery(r.prefix, range);
+    }
+    return sum;
+  }
+
+  /// All keys whose estimated in-window frequency is >= `threshold`
+  /// occurrences (group-testing descent; Theorem 5 guarantees every key
+  /// with true frequency >= (φ+ε)‖a_r‖₁ is reported and, w.h.p., none
+  /// below φ‖a_r‖₁).
+  std::vector<HeavyHitter> HeavyHittersAbsolute(double threshold,
+                                                uint64_t range) const {
+    std::vector<HeavyHitter> out;
+    Descend(domain_bits_ - 1, 0, threshold, range, &out);
+    Descend(domain_bits_ - 1, 1, threshold, range, &out);
+    return out;
+  }
+
+  /// Keys with estimated frequency >= phi_ratio · ‖a_r‖₁, with ‖a_r‖₁
+  /// estimated from the finest sketch per §6.1.
+  std::vector<HeavyHitter> HeavyHitters(double phi_ratio,
+                                        uint64_t range) const {
+    double l1 = EstimateL1(range);
+    return HeavyHittersAbsolute(phi_ratio * l1, range);
+  }
+
+  /// ‖a_r‖₁ estimate (average of per-row counter sums of CM₀).
+  double EstimateL1(uint64_t range) const {
+    return levels_[0].EstimateL1(range);
+  }
+
+  /// Smallest key k such that the estimated count of keys <= k reaches
+  /// q · ‖a_r‖₁ (the q-quantile of the in-window key distribution).
+  uint64_t Quantile(double q, uint64_t range) const {
+    double target = q * EstimateL1(range);
+    uint64_t lo = 0;
+    uint64_t hi = (domain_bits_ >= 64) ? ~0ULL : (1ULL << domain_bits_) - 1;
+    while (lo < hi) {
+      uint64_t mid = lo + (hi - lo) / 2;
+      if (RangeQuery(0, mid, range) >= target) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+  /// Memory of all level sketches.
+  size_t MemoryBytes() const {
+    size_t bytes = sizeof(*this);
+    for (const auto& s : levels_) bytes += s.MemoryBytes();
+    return bytes;
+  }
+
+  int domain_bits() const { return domain_bits_; }
+  const EcmSketch<Counter>& level(int i) const { return levels_[i]; }
+
+ private:
+  void Descend(int level, uint64_t prefix, double threshold, uint64_t range,
+               std::vector<HeavyHitter>* out) const {
+    double est = levels_[level].PointQuery(prefix, range);
+    if (est < threshold) return;
+    if (level == 0) {
+      out->push_back(HeavyHitter{prefix, est});
+      return;
+    }
+    Descend(level - 1, prefix * 2, threshold, range, out);
+    Descend(level - 1, prefix * 2 + 1, threshold, range, out);
+  }
+
+  int domain_bits_;
+  std::vector<EcmSketch<Counter>> levels_;
+};
+
+}  // namespace ecm
+
+#endif  // ECM_CORE_DYADIC_H_

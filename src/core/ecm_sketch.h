@@ -1,0 +1,354 @@
+// ECM-sketch (Exponential Count-Min sketch) — the paper's core
+// contribution (§4): a Count-Min sketch whose counters are sliding-window
+// synopses, summarizing the item-frequency distribution of a
+// high-dimensional stream over time-based or count-based sliding windows.
+//
+// The class is templated on the counter type (exponential histogram by
+// default; deterministic or randomized wave; exact window for testing), so
+// the paper's three variants are:
+//
+//     using EcmEh = EcmSketch<ExponentialHistogram>;   // "ECM-EH"
+//     using EcmDw = EcmSketch<DeterministicWave>;      // "ECM-DW"
+//     using EcmRw = EcmSketch<RandomizedWave>;         // "ECM-RW"
+//
+// Supported queries (all over any range r within the window):
+//  * point query        f̂(x, r)         — Theorems 1/3 error bound
+//  * inner product      (a_r ⊙ b_r)^     — Theorem 2 error bound
+//  * self-join size F₂  (a_r ⊙ a_r)^
+//  * windowed L1 estimate (for ratio-threshold heavy hitters, §6.1)
+//
+// Time-based sketches of parallel streams merge into a sketch of the
+// order-preserving aggregate stream (§5.3); count-based sketches refuse to
+// merge (Fig. 2 impossibility).
+
+#ifndef ECM_CORE_ECM_SKETCH_H_
+#define ECM_CORE_ECM_SKETCH_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/core/ecm_config.h"
+#include "src/util/hash.h"
+#include "src/util/result.h"
+#include "src/window/counter_traits.h"
+#include "src/window/merge.h"
+
+namespace ecm {
+
+/// Builds the per-counter configuration appropriate for each counter type
+/// from the sketch-level EcmConfig.
+template <SlidingWindowCounter Counter>
+typename Counter::Config MakeCounterConfig(const EcmConfig& cfg);
+
+template <>
+inline ExponentialHistogram::Config
+MakeCounterConfig<ExponentialHistogram>(const EcmConfig& cfg) {
+  return ExponentialHistogram::Config{cfg.epsilon_sw, cfg.window_len};
+}
+
+template <>
+inline DeterministicWave::Config MakeCounterConfig<DeterministicWave>(
+    const EcmConfig& cfg) {
+  return DeterministicWave::Config{cfg.epsilon_sw, cfg.window_len,
+                                   cfg.max_arrivals};
+}
+
+template <>
+inline RandomizedWave::Config MakeCounterConfig<RandomizedWave>(
+    const EcmConfig& cfg) {
+  RandomizedWave::Config c;
+  c.epsilon = cfg.epsilon_sw;
+  c.delta = cfg.delta_sw > 0 ? cfg.delta_sw : cfg.delta / 2.0;
+  c.window_len = cfg.window_len;
+  c.max_arrivals = cfg.max_arrivals;
+  c.seed = cfg.seed;
+  return c;
+}
+
+template <>
+inline ExactWindow::Config MakeCounterConfig<ExactWindow>(
+    const EcmConfig& cfg) {
+  return ExactWindow::Config{cfg.window_len};
+}
+
+/// Count-Min sketch over sliding windows, templated on the window counter.
+template <SlidingWindowCounter Counter>
+class EcmSketch {
+ public:
+  /// Builds a sketch from a fully-specified config (typically produced by
+  /// EcmConfig::Create). Sketches that will be merged or compared must be
+  /// built from compatible configs (same dimensions/seed/window/mode).
+  explicit EcmSketch(const EcmConfig& config)
+      : config_(config), hashes_(config.seed, config.depth) {
+    assert(config.width > 0 && config.depth > 0);
+    counters_.reserve(NumCounters());
+    auto counter_cfg = MakeCounterConfig<Counter>(config);
+    for (size_t i = 0; i < NumCounters(); ++i) {
+      if constexpr (std::is_same_v<Counter, RandomizedWave>) {
+        // Independent sampling randomness per counter cell.
+        auto cell_cfg = counter_cfg;
+        cell_cfg.seed = Mix64(config.seed ^ (0x9E3779B9ULL * (i + 1)));
+        counters_.emplace_back(cell_cfg);
+      } else {
+        counters_.emplace_back(counter_cfg);
+      }
+    }
+  }
+
+  /// Convenience: compute the config and build in one step.
+  static Result<EcmSketch> Create(
+      double epsilon, double delta, WindowMode mode, uint64_t window_len,
+      uint64_t seed, OptimizeFor optimize = OptimizeFor::kPointQueries,
+      uint64_t max_arrivals = 1 << 20) {
+    constexpr auto family = std::is_same_v<Counter, RandomizedWave>
+                                ? CounterFamily::kRandomized
+                                : CounterFamily::kDeterministic;
+    auto cfg = EcmConfig::Create(epsilon, delta, mode, window_len, seed,
+                                 optimize, family, max_arrivals);
+    if (!cfg.ok()) return cfg.status();
+    return EcmSketch(*cfg);
+  }
+
+  /// Registers `count` occurrences of `key`.
+  ///
+  /// Time-based mode: `ts` is the arrival's wall-clock tick (>= 1,
+  /// non-decreasing). Count-based mode: `ts` is ignored; the sketch keys
+  /// counters by the global arrival index of the stream.
+  void Add(uint64_t key, Timestamp ts, uint64_t count = 1) {
+    Timestamp use_ts;
+    if (config_.mode == WindowMode::kCountBased) {
+      arrivals_ += count;
+      use_ts = arrivals_;
+    } else {
+      assert(ts >= last_ts_ && ts >= 1);
+      use_ts = ts;
+    }
+    last_ts_ = use_ts;
+    l1_lifetime_ += count;
+    for (int j = 0; j < config_.depth; ++j) {
+      CounterAt(j, hashes_.Bucket(j, key, config_.width)).Add(use_ts, count);
+    }
+  }
+
+  /// Point query at the sketch's current time: estimated frequency of
+  /// `key` among the arrivals in the trailing `range` ticks/arrivals.
+  double PointQuery(uint64_t key, uint64_t range) const {
+    return PointQueryAt(key, range, Now());
+  }
+
+  /// Point query evaluated at an explicit clock value `now` (time-based
+  /// mode; `now` must be >= the last Add timestamp).
+  double PointQueryAt(uint64_t key, uint64_t range, Timestamp now) const {
+    double best = std::numeric_limits<double>::infinity();
+    for (int j = 0; j < config_.depth; ++j) {
+      best = std::min(best, PointQueryRowAt(key, j, range, now));
+    }
+    return best;
+  }
+
+  /// Single-row contribution to a point query: the estimate of the one
+  /// counter `key` hashes to in row `row`. The geometric point monitor
+  /// (§6.2) treats the d per-row values as the key's statistics vector.
+  double PointQueryRowAt(uint64_t key, int row, uint64_t range,
+                         Timestamp now) const {
+    return CounterAt(row, hashes_.Bucket(row, key, config_.width))
+        .Estimate(now, range);
+  }
+
+  /// Estimated inner product a_r ⊙ b_r of this sketch's stream with
+  /// another's over the trailing `range`. Requires compatible sketches.
+  Result<double> InnerProduct(const EcmSketch& other, uint64_t range) const {
+    return InnerProductAt(other, range, std::max(Now(), other.Now()));
+  }
+
+  Result<double> InnerProductAt(const EcmSketch& other, uint64_t range,
+                                Timestamp now) const {
+    if (!config_.CompatibleWith(other.config_)) {
+      return Status::Incompatible(
+          "InnerProduct requires equal dimensions, seed, window and mode");
+    }
+    double best = std::numeric_limits<double>::infinity();
+    for (int j = 0; j < config_.depth; ++j) {
+      double row = 0.0;
+      for (uint32_t i = 0; i < config_.width; ++i) {
+        row += CounterAt(j, i).Estimate(now, range) *
+               other.CounterAt(j, i).Estimate(now, range);
+      }
+      best = std::min(best, row);
+    }
+    return best;
+  }
+
+  /// Estimated self-join size (second frequency moment F₂) of the trailing
+  /// `range`.
+  double SelfJoin(uint64_t range) const {
+    auto r = InnerProduct(*this, range);
+    return *r;  // always compatible with itself
+  }
+
+  /// Estimate of ‖a_r‖₁ (total arrivals in the trailing `range`), computed
+  /// as the paper recommends in §6.1: the average over rows of the sum of
+  /// the row's counter estimates (per-row sums each equal ‖a_r‖₁ up to
+  /// window-counter error; averaging cancels much of it).
+  double EstimateL1(uint64_t range) const { return EstimateL1At(range, Now()); }
+
+  double EstimateL1At(uint64_t range, Timestamp now) const {
+    double total = 0.0;
+    for (int j = 0; j < config_.depth; ++j) {
+      for (uint32_t i = 0; i < config_.width; ++i) {
+        total += CounterAt(j, i).Estimate(now, range);
+      }
+    }
+    return total / config_.depth;
+  }
+
+  /// Extracts one row's counter estimates for range `range` as a dense
+  /// vector — the "statistics vector" representation used by the geometric
+  /// monitor (§6.2).
+  std::vector<double> RowEstimates(int row, uint64_t range,
+                                   Timestamp now) const {
+    std::vector<double> out(config_.width);
+    for (uint32_t i = 0; i < config_.width; ++i) {
+      out[i] = CounterAt(row, i).Estimate(now, range);
+    }
+    return out;
+  }
+
+  /// Merges time-based sketches into a sketch of the order-preserving
+  /// aggregate stream S₁ ⊕ … ⊕ Sₙ (§5.3). `eps_prime_sw` is the window
+  /// error parameter of the merged counters (Theorem 4's ε′); pass the
+  /// inputs' ε_sw to get total window error 2ε+ε². Count-based sketches
+  /// are rejected (Fig. 2).
+  static Result<EcmSketch> Merge(const std::vector<const EcmSketch*>& inputs,
+                                 double eps_prime_sw, uint64_t seed = 0) {
+    if (inputs.empty()) {
+      return Status::InvalidArgument("EcmSketch::Merge: no inputs");
+    }
+    const EcmSketch& first = *inputs[0];
+    if (first.config_.mode == WindowMode::kCountBased) {
+      return Status::Unsupported(
+          "count-based ECM-sketches cannot be merged: the synopses lose the "
+          "interleaving of the streams' arrivals (paper Fig. 2)");
+    }
+    for (const auto* s : inputs) {
+      if (!first.config_.CompatibleWith(s->config_)) {
+        return Status::Incompatible(
+            "EcmSketch::Merge: sketches have different dimensions, seeds, "
+            "windows or modes");
+      }
+    }
+
+    EcmConfig merged_cfg = first.config_;
+    merged_cfg.epsilon_sw = eps_prime_sw;
+    // Error after one aggregation level (Theorem 4 + §5.3): window error
+    // inflates to ε+ε'+εε'; the total budget field tracks it for callers.
+    double esw = first.config_.epsilon_sw;
+    double merged_sw = esw + eps_prime_sw + esw * eps_prime_sw;
+    merged_cfg.epsilon = merged_sw + merged_cfg.epsilon_cm +
+                         merged_sw * merged_cfg.epsilon_cm;
+
+    EcmSketch merged(merged_cfg);
+    std::vector<const Counter*> cell;
+    cell.reserve(inputs.size());
+    for (size_t i = 0; i < first.NumCounters(); ++i) {
+      cell.clear();
+      for (const auto* s : inputs) cell.push_back(&s->counters_[i]);
+      auto m = MergeCell(cell, merged_cfg, seed + i);
+      if (!m.ok()) return m.status();
+      merged.counters_[i] = std::move(*m);
+    }
+    for (const auto* s : inputs) {
+      merged.l1_lifetime_ += s->l1_lifetime_;
+      merged.last_ts_ = std::max(merged.last_ts_, s->last_ts_);
+    }
+    return merged;
+  }
+
+  /// Current clock: last Add timestamp (time-based) or total arrivals
+  /// (count-based).
+  Timestamp Now() const { return last_ts_; }
+
+  /// Advances the sketch clock without adding arrivals (time-based mode);
+  /// expires counter state that slid out of the window.
+  void AdvanceTo(Timestamp now) {
+    assert(config_.mode == WindowMode::kTimeBased && now >= last_ts_);
+    last_ts_ = now;
+    for (auto& c : counters_) c.Expire(now);
+  }
+
+  /// Total stream weight ever added (not windowed).
+  uint64_t l1_lifetime() const { return l1_lifetime_; }
+
+  /// Restores the clock and lifetime counters after deserialization
+  /// (dist/serialize.h only).
+  void RestoreClock(Timestamp now, uint64_t l1) {
+    last_ts_ = now;
+    arrivals_ = (config_.mode == WindowMode::kCountBased) ? now : arrivals_;
+    l1_lifetime_ = l1;
+  }
+
+  /// In-memory footprint: all counters plus the sketch frame.
+  size_t MemoryBytes() const {
+    size_t bytes = sizeof(*this);
+    for (const auto& c : counters_) bytes += c.MemoryBytes();
+    return bytes;
+  }
+
+  const EcmConfig& config() const { return config_; }
+  size_t NumCounters() const {
+    return static_cast<size_t>(config_.width) * config_.depth;
+  }
+
+  /// Counter cell access (row-major), for serialization and tests.
+  const Counter& CounterAt(int row, uint32_t col) const {
+    return counters_[static_cast<size_t>(row) * config_.width + col];
+  }
+  Counter& CounterAt(int row, uint32_t col) {
+    return counters_[static_cast<size_t>(row) * config_.width + col];
+  }
+
+ private:
+  // Merges one counter cell across the input sketches, dispatched on the
+  // counter type.
+  static Result<Counter> MergeCell(const std::vector<const Counter*>& cell,
+                                   const EcmConfig& merged_cfg,
+                                   uint64_t seed) {
+    if constexpr (std::is_same_v<Counter, ExponentialHistogram>) {
+      std::vector<const ExponentialHistogram*> in(cell.begin(), cell.end());
+      return MergeHistograms(in, merged_cfg.epsilon_sw);
+    } else if constexpr (std::is_same_v<Counter, DeterministicWave>) {
+      std::vector<const DeterministicWave*> in(cell.begin(), cell.end());
+      return MergeWaves(in, merged_cfg.epsilon_sw, merged_cfg.max_arrivals);
+    } else if constexpr (std::is_same_v<Counter, RandomizedWave>) {
+      std::vector<const RandomizedWave*> in(cell.begin(), cell.end());
+      return MergeRandomizedWaves(in, Mix64(merged_cfg.seed ^ seed));
+    } else {
+      // Exact windows (tests): lossless replay of all retained arrivals.
+      std::vector<ReplayEvent> events;
+      for (const auto* c : cell) AppendBucketEvents(c->Buckets(), &events);
+      Counter merged(MakeCounterConfig<Counter>(merged_cfg));
+      ReplayInto(std::move(events), &merged);
+      return merged;
+    }
+  }
+
+  EcmConfig config_;
+  HashFamily hashes_;
+  std::vector<Counter> counters_;  // row-major depth × width
+  uint64_t arrivals_ = 0;          // count-based arrival index
+  Timestamp last_ts_ = 0;
+  uint64_t l1_lifetime_ = 0;
+};
+
+/// The paper's three variants plus the collision-only testing variant.
+using EcmEh = EcmSketch<ExponentialHistogram>;
+using EcmDw = EcmSketch<DeterministicWave>;
+using EcmRw = EcmSketch<RandomizedWave>;
+using EcmExact = EcmSketch<ExactWindow>;
+
+}  // namespace ecm
+
+#endif  // ECM_CORE_ECM_SKETCH_H_

@@ -1,0 +1,23 @@
+// The stream model: a stream is a time-ordered sequence of keyed arrivals,
+// each observed at one distributed site (paper §1's network-monitoring
+// setting: site = router / access point / server mirror).
+
+#ifndef ECM_STREAM_EVENT_H_
+#define ECM_STREAM_EVENT_H_
+
+#include <cstdint>
+
+#include "src/window/window_spec.h"
+
+namespace ecm {
+
+/// One stream arrival.
+struct StreamEvent {
+  Timestamp ts = 0;   ///< arrival time in ticks (milliseconds in workloads)
+  uint64_t key = 0;   ///< item identifier (URL id, MAC address, IP, ...)
+  uint32_t node = 0;  ///< site that observed the arrival
+};
+
+}  // namespace ecm
+
+#endif  // ECM_STREAM_EVENT_H_

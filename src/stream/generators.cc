@@ -1,0 +1,75 @@
+#include "src/stream/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace ecm {
+
+ZipfStream::ZipfStream(const Config& config)
+    : config_(config),
+      zipf_(config.domain, config.skew),
+      rng_(config.seed) {}
+
+StreamEvent ZipfStream::Next() {
+  // Exponential inter-arrival scaled by the instantaneous intensity.
+  double u = rng_.NextDouble();
+  double base_gap = -std::log(1.0 - u) / config_.events_per_tick;
+  double intensity = 1.0;
+  if (config_.diurnal_amplitude > 0.0) {
+    double phase = 2.0 * M_PI * clock_ /
+                   static_cast<double>(config_.diurnal_period);
+    intensity += config_.diurnal_amplitude * std::sin(phase);
+    if (intensity < 0.05) intensity = 0.05;  // nights are quiet, not silent
+  }
+  clock_ += base_gap / intensity;
+
+  StreamEvent e;
+  e.ts = static_cast<Timestamp>(std::ceil(clock_));
+  e.key = zipf_.Sample(rng_);
+  e.node = config_.num_nodes > 1
+               ? static_cast<uint32_t>(rng_.Uniform(config_.num_nodes))
+               : 0;
+  return e;
+}
+
+std::vector<std::vector<StreamEvent>> PartitionByNode(
+    const std::vector<StreamEvent>& events, uint32_t num_nodes) {
+  std::vector<std::vector<StreamEvent>> parts(num_nodes);
+  for (const StreamEvent& e : events) {
+    parts[e.node % num_nodes].push_back(e);
+  }
+  return parts;
+}
+
+uint64_t ExactFrequency(const std::vector<StreamEvent>& events, uint64_t key,
+                        Timestamp now, uint64_t range) {
+  Timestamp boundary = WindowStart(now, range);
+  uint64_t count = 0;
+  for (const StreamEvent& e : events) {
+    if (e.key == key && e.ts > boundary && e.ts <= now) ++count;
+  }
+  return count;
+}
+
+ExactRangeStats ComputeExactRangeStats(const std::vector<StreamEvent>& events,
+                                       Timestamp now, uint64_t range) {
+  Timestamp boundary = WindowStart(now, range);
+  std::unordered_map<uint64_t, uint64_t> freq;
+  ExactRangeStats stats;
+  for (const StreamEvent& e : events) {
+    if (e.ts > boundary && e.ts <= now) {
+      ++freq[e.key];
+      ++stats.l1;
+    }
+  }
+  stats.freqs.reserve(freq.size());
+  for (const auto& [key, count] : freq) {
+    stats.freqs.emplace_back(key, count);
+    stats.self_join +=
+        static_cast<double>(count) * static_cast<double>(count);
+  }
+  return stats;
+}
+
+}  // namespace ecm

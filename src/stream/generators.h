@@ -1,0 +1,113 @@
+// Generic synthetic stream generators: the building blocks for the two
+// trace synthesizers (wc98_like.h, snmp_like.h) and for focused test /
+// ablation workloads.
+
+#ifndef ECM_STREAM_GENERATORS_H_
+#define ECM_STREAM_GENERATORS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/stream/event.h"
+#include "src/stream/zipf.h"
+#include "src/util/random.h"
+
+namespace ecm {
+
+/// Abstract pull-based stream source. Generators are deterministic given
+/// their seed, so every experiment row is replayable.
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+
+  /// Produces the next event (timestamps non-decreasing).
+  virtual StreamEvent Next() = 0;
+
+  /// Convenience: materializes the next `n` events.
+  std::vector<StreamEvent> Take(size_t n) {
+    std::vector<StreamEvent> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) out.push_back(Next());
+    return out;
+  }
+};
+
+/// Zipf-keyed stream with configurable arrival-rate modulation.
+///
+/// Arrival timestamps follow an inhomogeneous Poisson-like process with
+/// intensity  λ(t) = base_rate · (1 + diurnal_amplitude · sin(2πt/period)),
+/// approximated by exponential inter-arrivals scaled by the instantaneous
+/// intensity — the classic shape of web/wireless traffic.
+class ZipfStream : public StreamSource {
+ public:
+  struct Config {
+    uint64_t domain = 100000;      ///< number of distinct keys
+    double skew = 1.0;             ///< Zipf exponent
+    uint32_t num_nodes = 1;        ///< sites; node sampled uniformly
+    double events_per_tick = 1.0;  ///< base arrival rate
+    double diurnal_amplitude = 0.0;  ///< 0 = homogeneous arrivals
+    uint64_t diurnal_period = 86'400'000;  ///< one day in ms
+    uint64_t seed = 42;
+  };
+
+  explicit ZipfStream(const Config& config);
+
+  StreamEvent Next() override;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  ZipfDistribution zipf_;
+  Rng rng_;
+  double clock_ = 1.0;  // fractional tick clock; emitted ts = ceil(clock_)
+};
+
+/// Stream that cycles deterministically over [1, domain] — worst case for
+/// sketches (uniform, no skew) and convenient for exact-count tests.
+class RoundRobinStream : public StreamSource {
+ public:
+  RoundRobinStream(uint64_t domain, uint32_t num_nodes, uint64_t ticks_per_event = 1)
+      : domain_(domain), num_nodes_(num_nodes), ticks_per_event_(ticks_per_event) {}
+
+  StreamEvent Next() override {
+    StreamEvent e;
+    e.ts = 1 + count_ * ticks_per_event_;
+    e.key = 1 + (count_ % domain_);
+    e.node = static_cast<uint32_t>(count_ % num_nodes_);
+    ++count_;
+    return e;
+  }
+
+ private:
+  uint64_t domain_;
+  uint32_t num_nodes_;
+  uint64_t ticks_per_event_;
+  uint64_t count_ = 0;
+};
+
+/// Splits an event vector by node id — the distributed-experiment harness
+/// uses this to feed per-site sketches.
+std::vector<std::vector<StreamEvent>> PartitionByNode(
+    const std::vector<StreamEvent>& events, uint32_t num_nodes);
+
+/// Exact frequency of `key` among events with ts ∈ (now-range, now]
+/// (linear scan ground truth for error measurement).
+uint64_t ExactFrequency(const std::vector<StreamEvent>& events, uint64_t key,
+                        Timestamp now, uint64_t range);
+
+/// Exact ‖a_r‖₁ and per-key frequency table over a range, plus exact
+/// self-join size; one pass over the events.
+struct ExactRangeStats {
+  uint64_t l1 = 0;            ///< number of arrivals in range
+  double self_join = 0.0;     ///< Σ_x f(x)²
+  std::vector<std::pair<uint64_t, uint64_t>> freqs;  ///< (key, count)
+};
+ExactRangeStats ComputeExactRangeStats(const std::vector<StreamEvent>& events,
+                                       Timestamp now, uint64_t range);
+
+}  // namespace ecm
+
+#endif  // ECM_STREAM_GENERATORS_H_

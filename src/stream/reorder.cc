@@ -1,0 +1,71 @@
+#include "src/stream/reorder.h"
+
+#include <algorithm>
+
+#include "src/util/random.h"
+
+namespace ecm {
+
+void ReorderBuffer::Drain(Timestamp release_up_to) {
+  while (!heap_.empty() && heap_.top().ts <= release_up_to) {
+    StreamEvent e = heap_.top();
+    heap_.pop();
+    // Heap order guarantees non-decreasing release timestamps.
+    last_released_ = e.ts;
+    sink_(e);
+  }
+}
+
+void ReorderBuffer::Push(const StreamEvent& event) {
+  if (event.ts > watermark_) watermark_ = event.ts;
+
+  Timestamp safe = watermark_ > config_.max_lateness
+                       ? watermark_ - config_.max_lateness
+                       : 0;
+  if (event.ts < safe || event.ts < last_released_) {
+    ++late_;
+    if (config_.late_policy == LatePolicy::kDrop) {
+      ++dropped_;
+    } else {
+      // Clamp forward to the release frontier: the arrival keeps its
+      // count, displaced by at most its lateness.
+      StreamEvent clamped = event;
+      clamped.ts = std::max(safe, last_released_);
+      heap_.push(clamped);
+    }
+  } else {
+    heap_.push(event);
+  }
+  // Everything at or before watermark - max_lateness can no longer be
+  // preceded by future arrivals: safe to release.
+  Drain(safe);
+}
+
+void ReorderBuffer::Flush() {
+  Drain(~0ULL);
+}
+
+std::vector<StreamEvent> ShuffleWithBoundedDelay(
+    std::vector<StreamEvent> events, uint64_t max_shift, uint64_t seed) {
+  // Model: event i is *observed* at ts + delay_i with delay_i uniform in
+  // [0, max_shift]; the observation order is by delivery time, but each
+  // event still carries its original timestamp — exactly what a receiver
+  // behind a jittery network sees.
+  Rng rng(seed);
+  std::vector<std::pair<Timestamp, StreamEvent>> delivery;
+  delivery.reserve(events.size());
+  for (const StreamEvent& e : events) {
+    Timestamp delivered = e.ts + rng.Uniform(max_shift + 1);
+    delivery.emplace_back(delivered, e);
+  }
+  std::stable_sort(delivery.begin(), delivery.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  std::vector<StreamEvent> out;
+  out.reserve(events.size());
+  for (const auto& [d, e] : delivery) out.push_back(e);
+  return out;
+}
+
+}  // namespace ecm

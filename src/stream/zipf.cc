@@ -1,0 +1,69 @@
+#include "src/stream/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ecm {
+
+namespace {
+
+// log(1+x)/x, numerically stable near 0.
+double Helper1(double x) {
+  if (std::abs(x) > 1e-8) return std::log1p(x) / x;
+  return 1.0 - x / 2.0 + x * x / 3.0 - x * x * x / 4.0;
+}
+
+// (exp(x)-1)/x, numerically stable near 0.
+double Helper2(double x) {
+  if (std::abs(x) > 1e-8) return std::expm1(x) / x;
+  return 1.0 + x / 2.0 + x * x / 6.0 + x * x * x / 24.0;
+}
+
+}  // namespace
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double skew)
+    : n_(n), skew_(skew) {
+  assert(n_ >= 1);
+  assert(skew_ >= 0.0);
+  h_integral_x1_ = HIntegral(1.5) - 1.0;
+  h_integral_n_ = HIntegral(static_cast<double>(n_) + 0.5);
+  s_ = 2.0 - HIntegralInverse(HIntegral(2.5) - H(2.0));
+}
+
+// ∫ x^-skew dx expressed via stable helpers.
+double ZipfDistribution::HIntegral(double x) const {
+  double log_x = std::log(x);
+  return Helper2((1.0 - skew_) * log_x) * log_x;
+}
+
+double ZipfDistribution::H(double x) const {
+  return std::exp(-skew_ * std::log(x));
+}
+
+double ZipfDistribution::HIntegralInverse(double x) const {
+  double t = x * (1.0 - skew_);
+  if (t < -1.0) t = -1.0;  // guard against numeric overshoot
+  return std::exp(Helper1(t) * x);
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  if (n_ == 1) return 1;
+  for (;;) {
+    double u =
+        h_integral_n_ + rng.NextDouble() * (h_integral_x1_ - h_integral_n_);
+    double x = HIntegralInverse(u);
+    double clamped =
+        std::clamp(x, 1.0, static_cast<double>(n_));
+    auto k = static_cast<uint64_t>(clamped + 0.5);
+    k = std::clamp<uint64_t>(k, 1, n_);
+    // Acceptance: immediate for points deep inside the hat, otherwise the
+    // exact rejection test.
+    if (static_cast<double>(k) - x <= s_ ||
+        u >= HIntegral(static_cast<double>(k) + 0.5) - H(static_cast<double>(k))) {
+      return k;
+    }
+  }
+}
+
+}  // namespace ecm

@@ -1,0 +1,44 @@
+// O(1) Zipf sampling by rejection inversion (Hörmann & Derflinger 1996),
+// the standard technique for Zipf-distributed keys over large domains
+// (the wc'98 URL and snmp MAC domains) without precomputing a CDF.
+
+#ifndef ECM_STREAM_ZIPF_H_
+#define ECM_STREAM_ZIPF_H_
+
+#include <cstdint>
+
+#include "src/util/random.h"
+
+namespace ecm {
+
+/// Samples from P[X = k] ∝ 1/k^s over k ∈ [1, n].
+///
+/// Supports any skew s >= 0 (s = 0 degenerates to uniform) and domains up
+/// to 2^62. Expected rejections per sample are < 1.1 across the domain.
+class ZipfDistribution {
+ public:
+  /// \param n     domain size (>= 1)
+  /// \param skew  exponent s >= 0
+  ZipfDistribution(uint64_t n, double skew);
+
+  /// Draws one sample in [1, n] using randomness from `rng`.
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double skew() const { return skew_; }
+
+ private:
+  double HIntegral(double x) const;
+  double H(double x) const;
+  double HIntegralInverse(double x) const;
+
+  uint64_t n_;
+  double skew_;
+  double h_integral_x1_;
+  double h_integral_n_;
+  double s_;
+};
+
+}  // namespace ecm
+
+#endif  // ECM_STREAM_ZIPF_H_

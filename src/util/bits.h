@@ -1,0 +1,27 @@
+// Small bit-manipulation helpers shared across the window synopses.
+
+#ifndef ECM_UTIL_BITS_H_
+#define ECM_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace ecm {
+
+/// floor(log2(x)) for x >= 1.
+inline int FloorLog2(uint64_t x) { return 63 - std::countl_zero(x); }
+
+/// ceil(log2(x)) for x >= 1 (returns 0 for x == 1).
+inline int CeilLog2(uint64_t x) {
+  return x <= 1 ? 0 : 64 - std::countl_zero(x - 1);
+}
+
+/// True iff x is a power of two (x > 0).
+inline bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Number of trailing zero bits; 64 for x == 0.
+inline int TrailingZeros(uint64_t x) { return std::countr_zero(x); }
+
+}  // namespace ecm
+
+#endif  // ECM_UTIL_BITS_H_

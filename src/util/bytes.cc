@@ -1,0 +1,14 @@
+#include "src/util/bytes.h"
+
+namespace ecm {
+
+size_t VarintLength(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace ecm

@@ -1,0 +1,31 @@
+#include "src/util/hash.h"
+
+#include "src/util/random.h"
+
+namespace ecm {
+
+uint64_t PairwiseHash::MulModMersenne61(uint64_t x, uint64_t y) {
+  __uint128_t prod = static_cast<__uint128_t>(x) * y;
+  uint64_t lo = static_cast<uint64_t>(prod & kMersenne61);
+  uint64_t hi = static_cast<uint64_t>(prod >> 61);
+  uint64_t sum = lo + hi;
+  if (sum >= kMersenne61) sum -= kMersenne61;
+  return sum;
+}
+
+PairwiseHash::PairwiseHash(uint64_t seed_a, uint64_t seed_b) {
+  a_ = Mix64(seed_a) % (kMersenne61 - 1) + 1;  // in [1, p)
+  b_ = Mix64(seed_b) % kMersenne61;            // in [0, p)
+}
+
+HashFamily::HashFamily(uint64_t seed, int d) : seed_(seed) {
+  funcs_.reserve(d);
+  for (int i = 0; i < d; ++i) {
+    // Distinct, deterministic sub-seeds per row.
+    uint64_t sa = Mix64(seed ^ (0xA5A5A5A5ULL + 2 * i));
+    uint64_t sb = Mix64(seed ^ (0x5A5A5A5AULL + 2 * i + 1));
+    funcs_.emplace_back(sa, sb);
+  }
+}
+
+}  // namespace ecm

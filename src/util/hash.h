@@ -1,0 +1,93 @@
+// Hash families used by the sketches.
+//
+// Count-Min rows need pairwise-independent (2-universal) hash functions; we
+// use the classic Carter–Wegman construction over the Mersenne prime 2^61-1,
+// which is exact for 64-bit keys after a 64-bit mixing step. Randomized
+// waves need a geometric level assignment, derived from a strong 64-bit
+// mixer (SplitMix64 finalizer).
+
+#ifndef ECM_UTIL_HASH_H_
+#define ECM_UTIL_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ecm {
+
+/// 64-bit finalizer (SplitMix64 / Murmur3-style avalanche). Bijective.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// One member of a 2-universal family h(x) = ((a*x + b) mod p) mod w,
+/// p = 2^61 - 1. `a` is drawn from [1, p), `b` from [0, p).
+///
+/// The input key is first passed through Mix64 so that adversarially
+/// structured keys (sequential IPs, aligned pointers) still spread.
+class PairwiseHash {
+ public:
+  PairwiseHash() : a_(1), b_(0) {}
+
+  /// Constructs a member of the family from two 64-bit seeds.
+  PairwiseHash(uint64_t seed_a, uint64_t seed_b);
+
+  /// Hashes `key` into [0, width).
+  uint32_t Bucket(uint64_t key, uint32_t width) const {
+    return static_cast<uint32_t>(Raw(key) % width);
+  }
+
+  /// The full 61-bit hash value before reduction mod width.
+  uint64_t Raw(uint64_t key) const {
+    uint64_t v = MulModMersenne61(a_, Mix64(key)) + b_;
+    return v >= kMersenne61 ? v - kMersenne61 : v;
+  }
+
+  uint64_t a() const { return a_; }
+  uint64_t b() const { return b_; }
+
+  static constexpr uint64_t kMersenne61 = (1ULL << 61) - 1;
+
+  /// (x * y) mod (2^61 - 1) without overflow, using 128-bit products.
+  static uint64_t MulModMersenne61(uint64_t x, uint64_t y);
+
+ private:
+  uint64_t a_;  // in [1, p)
+  uint64_t b_;  // in [0, p)
+};
+
+/// A family of `d` independent PairwiseHash functions, one per Count-Min
+/// row, all derived deterministically from a single seed. Two families
+/// built from the same (seed, d) are identical — the property that makes
+/// sketches mergeable across machines.
+class HashFamily {
+ public:
+  HashFamily() = default;
+
+  /// Creates `d` hash functions seeded from `seed`.
+  HashFamily(uint64_t seed, int d);
+
+  /// Hashes key with function `row` into [0, width).
+  uint32_t Bucket(int row, uint64_t key, uint32_t width) const {
+    return funcs_[row].Bucket(key, width);
+  }
+
+  int depth() const { return static_cast<int>(funcs_.size()); }
+  uint64_t seed() const { return seed_; }
+
+  /// True iff the two families were built from the same seed and depth
+  /// (and therefore produce identical mappings).
+  bool SameAs(const HashFamily& other) const {
+    return seed_ == other.seed_ && funcs_.size() == other.funcs_.size();
+  }
+
+ private:
+  uint64_t seed_ = 0;
+  std::vector<PairwiseHash> funcs_;
+};
+
+}  // namespace ecm
+
+#endif  // ECM_UTIL_HASH_H_

@@ -1,0 +1,55 @@
+#include "src/util/random.h"
+
+#include "src/util/hash.h"
+
+namespace ecm {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // SplitMix64 expansion of the seed into the 256-bit state, per the
+  // xoshiro authors' recommendation.
+  uint64_t z = seed;
+  for (auto& s : s_) {
+    z += 0x9E3779B97F4A7C15ULL;
+    s = Mix64(z);
+  }
+  // xoshiro state must not be all-zero.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  // Lemire-style rejection: threshold = 2^64 mod n.
+  uint64_t threshold = (-n) % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0,1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+int Rng::GeometricLevel(int max_level) {
+  int level = 0;
+  while (level < max_level && (Next() & 1)) ++level;
+  return level;
+}
+
+}  // namespace ecm

@@ -1,0 +1,52 @@
+// Deterministic pseudo-random generation (xoshiro256**).
+//
+// Every randomized component of the library (randomized waves, workload
+// generators) takes an explicit seed and derives all of its randomness from
+// this generator, so that every experiment row in the paper-reproduction
+// benches is replayable bit-for-bit.
+
+#ifndef ECM_UTIL_RANDOM_H_
+#define ECM_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace ecm {
+
+/// xoshiro256** 1.0 — small, fast, high-quality 64-bit PRNG.
+/// Satisfies the UniformRandomBitGenerator concept, so it can be plugged
+/// into <random> distributions when convenient.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the generator from a single 64-bit value via SplitMix64.
+  explicit Rng(uint64_t seed = 0xECADECADE5EEDULL);
+
+  /// Next raw 64 bits.
+  uint64_t Next();
+
+  uint64_t operator()() { return Next(); }
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ULL; }
+
+  /// Uniform integer in [0, n). n must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Geometric level: number of leading successes of fair coin flips,
+  /// i.e. returns l with probability 2^-(l+1), capped at `max_level`.
+  int GeometricLevel(int max_level);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace ecm
+
+#endif  // ECM_UTIL_RANDOM_H_

@@ -1,0 +1,79 @@
+// Result<T>: value-or-Status, the companion of Status for fallible
+// operations that produce a value (Arrow's arrow::Result, absl::StatusOr).
+
+#ifndef ECM_UTIL_RESULT_H_
+#define ECM_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace ecm {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced.
+///
+/// Usage:
+/// \code
+///   Result<EcmSketch> merged = EcmSketch::Merge(a, b);
+///   if (!merged.ok()) return merged.status();
+///   UseSketch(*merged);
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, like arrow::Result).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status. Asserts the status is not OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; Status::OK() when a value is held.
+  const Status& status() const { return status_; }
+
+  /// Accesses the held value. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Moves the value out of the Result. Must only be called when ok().
+  T MoveValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates the error of a Result expression, or assigns its value.
+#define ECM_ASSIGN_OR_RETURN(lhs, expr)         \
+  auto _res_##__LINE__ = (expr);                \
+  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
+  lhs = std::move(*_res_##__LINE__)
+
+}  // namespace ecm
+
+#endif  // ECM_UTIL_RESULT_H_

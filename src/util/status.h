@@ -1,0 +1,97 @@
+// Arrow/RocksDB-style Status type for recoverable errors.
+//
+// Library code in this project never throws on anticipated failure paths
+// (incompatible sketch merges, bad configuration, deserialization of corrupt
+// bytes). Instead, fallible operations return Status or Result<T>
+// (see result.h). Programming errors (out-of-contract use) are guarded by
+// assertions in debug builds.
+
+#ifndef ECM_UTIL_STATUS_H_
+#define ECM_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace ecm {
+
+/// Machine-readable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kIncompatible = 2,    ///< sketches with different shapes/seeds/modes
+  kUnsupported = 3,     ///< operation impossible by design (e.g. Fig. 2)
+  kOutOfRange = 4,      ///< query range exceeds the configured window
+  kCorruption = 5,      ///< malformed serialized bytes
+  kInternal = 6,
+};
+
+/// Returns a short human-readable name for a StatusCode ("OK",
+/// "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail without a return value.
+///
+/// Cheap to copy in the OK case (no allocation). Construction helpers mirror
+/// the Arrow API: `Status::OK()`, `Status::InvalidArgument("...")`, etc.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Incompatible(std::string msg) {
+    return Status(StatusCode::kIncompatible, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the status is OK.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK Status to the caller, Arrow-style.
+#define ECM_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::ecm::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+}  // namespace ecm
+
+#endif  // ECM_UTIL_STATUS_H_

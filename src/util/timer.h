@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used by the benchmark harnesses.
+
+#ifndef ECM_UTIL_TIMER_H_
+#define ECM_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace ecm {
+
+/// Monotonic stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ecm
+
+#endif  // ECM_UTIL_TIMER_H_

@@ -1,0 +1,64 @@
+// The SlidingWindowCounter concept: the contract every window synopsis
+// (exponential histogram, deterministic wave, randomized wave, exact
+// window) satisfies so that EcmSketch<Counter> can be instantiated with any
+// of them with zero virtual-dispatch overhead on the update path.
+
+#ifndef ECM_WINDOW_COUNTER_TRAITS_H_
+#define ECM_WINDOW_COUNTER_TRAITS_H_
+
+#include <concepts>
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+
+#include "src/window/deterministic_wave.h"
+#include "src/window/exact_window.h"
+#include "src/window/exponential_histogram.h"
+#include "src/window/randomized_wave.h"
+#include "src/window/window_spec.h"
+
+namespace ecm {
+
+/// Requirements for a sliding-window counter usable inside an ECM-sketch.
+template <typename C>
+concept SlidingWindowCounter =
+    requires(C c, const C& cc, Timestamp ts, uint64_t n) {
+      typename C::Config;
+      requires std::constructible_from<C, const typename C::Config&>;
+      c.Add(ts, n);
+      c.Expire(ts);
+      { cc.Estimate(ts, n) } -> std::convertible_to<double>;
+      { cc.MemoryBytes() } -> std::convertible_to<size_t>;
+      { cc.lifetime_count() } -> std::convertible_to<uint64_t>;
+      { cc.window_len() } -> std::convertible_to<uint64_t>;
+      { cc.last_timestamp() } -> std::convertible_to<Timestamp>;
+    };
+
+/// Counters whose contents can be exported as an oldest-first bucket log —
+/// the input format of the deterministic order-preserving merge (§5.1).
+template <typename C>
+concept BucketExportingCounter = SlidingWindowCounter<C> && requires(const C& cc) {
+  { cc.Buckets() } -> std::convertible_to<std::vector<BucketView>>;
+};
+
+static_assert(SlidingWindowCounter<ExponentialHistogram>);
+static_assert(SlidingWindowCounter<DeterministicWave>);
+static_assert(SlidingWindowCounter<RandomizedWave>);
+static_assert(SlidingWindowCounter<ExactWindow>);
+static_assert(BucketExportingCounter<ExponentialHistogram>);
+static_assert(BucketExportingCounter<DeterministicWave>);
+static_assert(BucketExportingCounter<ExactWindow>);
+
+/// Short human-readable counter name used in bench output rows.
+template <typename C>
+constexpr std::string_view CounterName() {
+  if constexpr (std::is_same_v<C, ExponentialHistogram>) return "EH";
+  if constexpr (std::is_same_v<C, DeterministicWave>) return "DW";
+  if constexpr (std::is_same_v<C, RandomizedWave>) return "RW";
+  if constexpr (std::is_same_v<C, ExactWindow>) return "EXACT";
+  return "?";
+}
+
+}  // namespace ecm
+
+#endif  // ECM_WINDOW_COUNTER_TRAITS_H_

@@ -1,0 +1,234 @@
+#include "src/window/exponential_histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ecm {
+
+ExponentialHistogram::ExponentialHistogram(const Config& config)
+    : epsilon_(config.epsilon), window_len_(config.window_len) {
+  assert(epsilon_ > 0.0 && epsilon_ <= 1.0);
+  assert(window_len_ > 0);
+  // k = ceil(1/eps). Keeping up to k+1 buckets per level (merging the two
+  // oldest when a level reaches k+2) retains at least k buckets per level
+  // below the top one, which yields invariant 1 of the paper for every
+  // bucket of size >= 2:  C_j <= 2*eps*(1 + sum of more recent sizes).
+  // Clamped before the float->int cast (tiny epsilons from hostile bytes
+  // must not overflow into UB).
+  double k = std::ceil(1.0 / epsilon_);
+  if (!(k >= 1.0)) k = 1.0;
+  if (k > 1e9) k = 1e9;
+  level_capacity_ = static_cast<size_t>(k) + 2;
+}
+
+void ExponentialHistogram::AddOne(Timestamp ts) {
+  ++lifetime_;
+  ++total_;
+  ++num_buckets_;
+  if (levels_.empty()) levels_.emplace_back();
+  levels_[0].push_back(Bucket{ts});
+  // Cascade merges: when a level fills up, its two oldest buckets coalesce
+  // into one bucket of double size, which is the *newest* bucket of the
+  // next level (bucket sizes are non-decreasing with age).
+  for (size_t i = 0; i < levels_.size() && levels_[i].size() >= level_capacity_;
+       ++i) {
+    Bucket oldest = levels_[i].front();
+    levels_[i].pop_front();
+    Bucket second = levels_[i].front();
+    levels_[i].pop_front();
+    (void)oldest;  // merged bucket keeps the newer end timestamp
+    if (i + 1 == levels_.size()) levels_.emplace_back();
+    levels_[i + 1].push_back(Bucket{second.end});
+    --num_buckets_;
+  }
+}
+
+void ExponentialHistogram::Add(Timestamp ts, uint64_t count) {
+  assert(ts >= last_ts_ && "timestamps must be non-decreasing");
+  last_ts_ = ts;
+  for (uint64_t i = 0; i < count; ++i) AddOne(ts);
+  Expire(ts);
+}
+
+void ExponentialHistogram::Expire(Timestamp now) {
+  Timestamp wstart = WindowStart(now, window_len_);
+  // Oldest buckets live at the highest levels; within a level, at front().
+  for (size_t i = levels_.size(); i-- > 0;) {
+    auto& level = levels_[i];
+    bool dropped_here = false;
+    while (!level.empty() && level.front().end <= wstart) {
+      if (level.front().end > expired_end_) expired_end_ = level.front().end;
+      total_ -= (1ULL << i);
+      --num_buckets_;
+      level.pop_front();
+      dropped_here = true;
+    }
+    // If nothing expired at this level, nothing can expire below it either:
+    // lower-level buckets are strictly newer.
+    if (!dropped_here && !level.empty()) break;
+  }
+}
+
+double ExponentialHistogram::Estimate(Timestamp now, uint64_t range) const {
+  assert(now >= last_ts_);
+  if (range > window_len_) range = window_len_;
+  Timestamp boundary = WindowStart(now, range);
+
+  // Random-access query path (paper §4.2.1 / §7.1): within each level,
+  // bucket end timestamps ascend front-to-back, so the first in-range
+  // bucket is found by binary search — O(log(u)·log(1/ε)) instead of the
+  // O(log(u)/ε) full scan. Levels hold buckets in strictly decreasing
+  // age (level i+1 buckets are all older than level i buckets), so the
+  // oldest in-range bucket lives in the highest level holding one.
+  double sum = 0.0;
+  bool first_included = true;
+  for (size_t i = levels_.size(); i-- > 0;) {
+    const auto& level = levels_[i];
+    if (level.empty() || level.back().end <= boundary) continue;
+    auto it = std::partition_point(
+        level.begin(), level.end(),
+        [boundary](const Bucket& b) { return b.end <= boundary; });
+    double size = static_cast<double>(1ULL << i);
+    sum += size * static_cast<double>(level.end() - it);
+    if (first_included) {
+      // The oldest bucket intersecting the query contributes half its
+      // size if it straddles the boundary (paper §3) and fully if its
+      // reconstructed start is already inside the range. Its start is
+      // the end of the next-older bucket: the predecessor in this level,
+      // else the newest bucket of the next-higher non-empty level, else
+      // the expiry watermark.
+      Timestamp prev_end = expired_end_;
+      if (it != level.begin()) {
+        prev_end = std::prev(it)->end;
+      } else {
+        for (size_t j = i + 1; j < levels_.size(); ++j) {
+          if (!levels_[j].empty()) {
+            prev_end = levels_[j].back().end;
+            break;
+          }
+        }
+      }
+      bool fully_inside =
+          boundary == 0 || prev_end > boundary || prev_end >= it->end;
+      if (!fully_inside) sum -= size / 2.0;
+      first_included = false;
+    }
+  }
+  return sum;
+}
+
+size_t ExponentialHistogram::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  bytes += levels_.size() * sizeof(std::deque<Bucket>);
+  bytes += num_buckets_ * sizeof(Bucket);
+  return bytes;
+}
+
+std::vector<BucketView> ExponentialHistogram::Buckets() const {
+  std::vector<BucketView> out;
+  out.reserve(num_buckets_);
+  Timestamp prev_end = expired_end_;
+  for (size_t i = levels_.size(); i-- > 0;) {
+    uint64_t size = 1ULL << i;
+    for (const Bucket& b : levels_[i]) {
+      out.push_back(BucketView{prev_end, b.end, size});
+      prev_end = b.end;
+    }
+  }
+  return out;
+}
+
+int ExponentialHistogram::CheckInvariant() const {
+  // Gather sizes oldest-first, then verify invariant 1 against the suffix
+  // sums of more recent buckets. Buckets of size 1 are exempt (they carry
+  // at most 1/2 absolute error, which the error analysis absorbs).
+  std::vector<uint64_t> sizes;
+  sizes.reserve(num_buckets_);
+  for (size_t i = levels_.size(); i-- > 0;) {
+    for (size_t j = 0; j < levels_[i].size(); ++j) sizes.push_back(1ULL << i);
+  }
+  for (size_t j = 0; j < sizes.size(); ++j) {
+    if (sizes[j] < 2) continue;
+    uint64_t newer = 0;
+    for (size_t i = j + 1; i < sizes.size(); ++i) newer += sizes[i];
+    if (static_cast<double>(sizes[j]) >
+        2.0 * epsilon_ * (1.0 + static_cast<double>(newer)) + 1e-9) {
+      return static_cast<int>(j);
+    }
+  }
+  return -1;
+}
+
+
+namespace {
+constexpr uint8_t kEhMagic = 0xE1;
+}  // namespace
+
+void ExponentialHistogram::SerializeTo(ByteWriter* w) const {
+  w->PutFixed<uint8_t>(kEhMagic);
+  w->PutDouble(epsilon_);
+  w->PutVarint(window_len_);
+  w->PutVarint(expired_end_);
+  w->PutVarint(lifetime_);
+  w->PutVarint(last_ts_);
+  w->PutVarint(levels_.size());
+  for (const auto& level : levels_) {
+    w->PutVarint(level.size());
+    Timestamp prev = 0;
+    for (const Bucket& b : level) {
+      w->PutVarint(b.end - prev);  // front-to-back end stamps ascend
+      prev = b.end;
+    }
+  }
+}
+
+Result<ExponentialHistogram> ExponentialHistogram::Deserialize(
+    ByteReader* r) {
+  auto magic = r->GetFixed<uint8_t>();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kEhMagic) {
+    return Status::Corruption("bad exponential-histogram magic byte");
+  }
+  auto epsilon = r->GetDouble();
+  if (!epsilon.ok()) return epsilon.status();
+  auto window = r->GetVarint();
+  if (!window.ok()) return window.status();
+  if (!(*epsilon > 0.0) || *epsilon > 1.0 || *window == 0) {
+    return Status::Corruption("exponential-histogram header out of domain");
+  }
+  ExponentialHistogram eh(Config{*epsilon, *window});
+
+  auto expired_end = r->GetVarint();
+  if (!expired_end.ok()) return expired_end.status();
+  eh.expired_end_ = *expired_end;
+  auto lifetime = r->GetVarint();
+  if (!lifetime.ok()) return lifetime.status();
+  eh.lifetime_ = *lifetime;
+  auto last_ts = r->GetVarint();
+  if (!last_ts.ok()) return last_ts.status();
+  eh.last_ts_ = *last_ts;
+
+  auto num_levels = r->GetVarint();
+  if (!num_levels.ok()) return num_levels.status();
+  if (*num_levels > 64) {
+    return Status::Corruption("exponential histogram claims > 64 levels");
+  }
+  eh.levels_.resize(*num_levels);
+  for (size_t i = 0; i < *num_levels; ++i) {
+    auto count = r->GetVarint();
+    if (!count.ok()) return count.status();
+    Timestamp prev = 0;
+    for (uint64_t j = 0; j < *count; ++j) {
+      auto delta = r->GetVarint();
+      if (!delta.ok()) return delta.status();
+      prev += *delta;
+      eh.levels_[i].push_back(Bucket{prev});
+      ++eh.num_buckets_;
+      eh.total_ += 1ULL << i;
+    }
+  }
+  return eh;
+}
+
+}  // namespace ecm

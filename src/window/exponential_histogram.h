@@ -1,0 +1,139 @@
+// Exponential histogram (Datar, Gionis, Indyk, Motwani, SIAM J. Comput. 2002)
+// for ε-approximate basic counting over a sliding window.
+//
+// This is the default sliding-window counter inside ECM-sketches (the
+// "ECM-EH" variant of the paper). It maintains buckets of exponentially
+// increasing sizes; bucket boundaries are chosen so that invariant 1 of the
+// paper holds for every bucket j (bucket 1 = most recent):
+//
+//     C_j / (2 (1 + Σ_{i<j} C_i)) <= ε
+//
+// which bounds the query-time error (half the partially-overlapping oldest
+// bucket) by ε times the true count.
+//
+// Storage follows the layout the paper found fastest (§7.1): the bucket
+// list is split into levels L0, L1, ..., level i being a deque that holds
+// only buckets of size 2^i. Levels are allocated lazily. This gives random
+// access by level and O(1) bucket merges.
+//
+// Space: O(log²(N) / ε) bits. Amortized update: O(1). Both window models
+// are supported; the timestamp convention is defined in window_spec.h.
+
+#ifndef ECM_WINDOW_EXPONENTIAL_HISTOGRAM_H_
+#define ECM_WINDOW_EXPONENTIAL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+#include "src/window/window_spec.h"
+
+namespace ecm {
+
+/// Read-only view of one bucket, used by the order-preserving merge (§5.1)
+/// and by tests that check invariant 1. Buckets are reported oldest first.
+struct BucketView {
+  Timestamp start;  ///< end timestamp of the next-older bucket (exclusive)
+  Timestamp end;    ///< timestamp of the most recent 1-bit in the bucket
+  uint64_t size;    ///< number of 1-bits aggregated in the bucket
+};
+
+/// ε-approximate sliding-window counter.
+///
+/// Counts "1-bits" (arrivals, possibly weighted) whose timestamps fall in
+/// the window (now - range, now], for any range up to the configured window
+/// length. Timestamps passed to Add() must be non-decreasing.
+class ExponentialHistogram {
+ public:
+  /// Construction parameters. Every sliding-window counter class in this
+  /// library exposes a nested Config so that EcmSketch<Counter> can build
+  /// its w×d counters uniformly.
+  struct Config {
+    double epsilon = 0.1;       ///< max relative error of estimates
+    uint64_t window_len = 100;  ///< N: window length (ticks or arrivals)
+  };
+
+  ExponentialHistogram() : ExponentialHistogram(Config{}) {}
+  explicit ExponentialHistogram(const Config& config);
+
+  /// Registers `count` arrivals at timestamp `ts` (non-decreasing across
+  /// calls, and >= 1) and expires buckets that slid out of the window.
+  void Add(Timestamp ts, uint64_t count = 1);
+
+  /// Estimated number of arrivals with timestamp in (now - range, now].
+  /// `range` is clamped to the configured window length. `now` must be
+  /// >= the last Add() timestamp (the caller's clock may have advanced).
+  double Estimate(Timestamp now, uint64_t range) const;
+
+  /// Estimate over the full window length.
+  double EstimateWindow(Timestamp now) const { return Estimate(now, window_len()); }
+
+  /// Drops buckets entirely outside the window ending at `now`.
+  void Expire(Timestamp now);
+
+  /// Sum of all bucket sizes currently held (an upper bound on the true
+  /// in-window count; at most (1+ε) times it after Expire()).
+  uint64_t BucketTotal() const { return total_; }
+
+  /// Exact number of arrivals ever registered (not windowed).
+  uint64_t lifetime_count() const { return lifetime_; }
+
+  /// Number of buckets currently held.
+  size_t NumBuckets() const { return num_buckets_; }
+
+  /// Approximate in-memory footprint in bytes (buckets + level directory).
+  size_t MemoryBytes() const;
+
+  /// Snapshot of all buckets, oldest first, with reconstructed start
+  /// timestamps (paper §5: s(b_j) = e(b_{j+1}), oldest bucket uses the
+  /// expiry watermark). Used by the §5.1 merge and by tests.
+  std::vector<BucketView> Buckets() const;
+
+  double epsilon() const { return epsilon_; }
+  uint64_t window_len() const { return window_len_; }
+  Timestamp last_timestamp() const { return last_ts_; }
+
+  /// True if no buckets are held.
+  bool Empty() const { return num_buckets_ == 0; }
+
+  /// Verifies invariant 1 for every bucket; returns the first violating
+  /// bucket index (oldest-first) or -1 if the invariant holds. Test hook.
+  int CheckInvariant() const;
+
+  /// Appends the exact wire encoding (varint bucket log) to `w`. The wire
+  /// size is what the distributed benches account as network transfer.
+  void SerializeTo(ByteWriter* w) const;
+
+  /// Decodes a histogram previously written by SerializeTo.
+  static Result<ExponentialHistogram> Deserialize(ByteReader* r);
+
+ private:
+  struct Bucket {
+    Timestamp end;  // timestamp of the newest 1-bit in the bucket
+  };
+
+  // Inserts a single 1-bit at `ts` and cascades merges.
+  void AddOne(Timestamp ts);
+
+  double epsilon_;
+  uint64_t window_len_;
+  // Maximum buckets allowed per level before the two oldest merge:
+  // ceil(1/eps)/2 + 2 (Datar et al. invariant with k = ceil(1/eps)).
+  size_t level_capacity_;
+
+  // levels_[i] holds buckets of size 2^i, front() = oldest.
+  std::vector<std::deque<Bucket>> levels_;
+  size_t num_buckets_ = 0;
+  uint64_t total_ = 0;     // sum of sizes of held buckets
+  uint64_t lifetime_ = 0;  // all arrivals ever
+  Timestamp last_ts_ = 0;
+  // End timestamp of the most recently expired (or merged-away via expiry)
+  // bucket; the reconstruction start of the oldest live bucket.
+  Timestamp expired_end_ = 0;
+};
+
+}  // namespace ecm
+
+#endif  // ECM_WINDOW_EXPONENTIAL_HISTOGRAM_H_

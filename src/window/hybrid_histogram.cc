@@ -1,0 +1,95 @@
+#include "src/window/hybrid_histogram.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecm {
+
+HybridHistogram::HybridHistogram(const Config& config)
+    : window_len_(config.window_len), exact_len_(config.exact_len) {
+  assert(config.window_len > 0 && config.num_subwindows > 0);
+  assert(config.exact_len < config.window_len);
+  uint32_t slots = config.num_subwindows + 1;
+  span_ = std::max<uint64_t>(
+      1, (window_len_ - exact_len_) / config.num_subwindows);
+  slots_.assign(slots, 0);
+  slot_epochs_.assign(slots, ~0ULL);
+}
+
+void HybridHistogram::AddToTail(Timestamp ts, uint64_t count) {
+  size_t idx = SlotIndex(ts);
+  Timestamp epoch = SlotEpoch(ts);
+  if (slot_epochs_[idx] != epoch) {
+    slots_[idx] = 0;
+    slot_epochs_[idx] = epoch;
+  }
+  slots_[idx] += count;
+}
+
+void HybridHistogram::Add(Timestamp ts, uint64_t count) {
+  assert(ts >= last_ts_ && "timestamps must be non-decreasing");
+  last_ts_ = ts;
+  lifetime_ += count;
+  if (!exact_.empty() && exact_.back().ts == ts) {
+    exact_.back().count += count;
+  } else {
+    exact_.push_back(Run{ts, count});
+  }
+  Expire(ts);
+}
+
+void HybridHistogram::Expire(Timestamp now) {
+  // Exact entries older than exact_len demote into the equi-width tail.
+  Timestamp exact_start = WindowStart(now, exact_len_);
+  while (!exact_.empty() && exact_.front().ts <= exact_start) {
+    AddToTail(exact_.front().ts, exact_.front().count);
+    exact_.pop_front();
+  }
+  // Tail slots fully outside the window are dropped.
+  Timestamp wstart = WindowStart(now, window_len_);
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slot_epochs_[i] != ~0ULL && slot_epochs_[i] + span_ <= wstart) {
+      slots_[i] = 0;
+      slot_epochs_[i] = ~0ULL;
+    }
+  }
+}
+
+double HybridHistogram::Estimate(Timestamp now, uint64_t range) const {
+  if (range > window_len_) range = window_len_;
+  Timestamp boundary = WindowStart(now, range);
+
+  // Exact region: count runs inside (boundary, now].
+  double sum = 0.0;
+  auto it = std::partition_point(
+      exact_.begin(), exact_.end(),
+      [boundary](const Run& r) { return r.ts <= boundary; });
+  for (; it != exact_.end(); ++it) {
+    if (it->ts <= now) sum += static_cast<double>(it->count);
+  }
+  // Tail region: equi-width slots with boundary interpolation.
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slot_epochs_[i] == ~0ULL || slots_[i] == 0) continue;
+    Timestamp slot_start = slot_epochs_[i];
+    Timestamp slot_end = slot_start + span_;
+    if (slot_start > now || slot_end <= boundary) continue;
+    if (slot_start > boundary && slot_end <= now + 1) {
+      sum += static_cast<double>(slots_[i]);
+    } else {
+      Timestamp lo = std::max(slot_start, boundary + 1);
+      Timestamp hi = std::min<Timestamp>(slot_end, now + 1);
+      double frac = hi > lo ? static_cast<double>(hi - lo) /
+                                  static_cast<double>(span_)
+                            : 0.0;
+      sum += static_cast<double>(slots_[i]) * frac;
+    }
+  }
+  return sum;
+}
+
+size_t HybridHistogram::MemoryBytes() const {
+  return sizeof(*this) + exact_.size() * sizeof(Run) +
+         slots_.size() * (sizeof(uint64_t) + sizeof(Timestamp));
+}
+
+}  // namespace ecm

@@ -1,0 +1,105 @@
+// Hybrid histogram baseline (Qiao, Agrawal, El Abbadi, SSDBM 2003 — the
+// paper's §2 related work): an exact high-resolution buffer over the most
+// recent arrivals backed by an equi-width histogram over the older part
+// of the window.
+//
+// Like the pure equi-width counter (core/equiwidth_cm.h), the hybrid
+// gives NO bounded relative error once a query boundary falls into the
+// equi-width region — but it is *exact* for short trailing ranges, which
+// is precisely the regime its paper targets. We implement it so the
+// ablation bench can reproduce the ECM paper's §2 comparison honestly:
+// hybrid wins on very recent ranges, loses its guarantees on older ones,
+// and cannot be merged.
+//
+// Satisfies SlidingWindowCounter, so EcmSketch<HybridHistogram> works.
+
+#ifndef ECM_WINDOW_HYBRID_HISTOGRAM_H_
+#define ECM_WINDOW_HYBRID_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/window/window_spec.h"
+
+namespace ecm {
+
+/// Exact recent buffer + equi-width tail.
+class HybridHistogram {
+ public:
+  struct Config {
+    uint64_t window_len = 100;   ///< N: total window length
+    uint64_t exact_len = 10;     ///< span kept at exact resolution
+    uint32_t num_subwindows = 8; ///< equi-width slots over the tail
+  };
+
+  HybridHistogram() : HybridHistogram(Config{}) {}
+  explicit HybridHistogram(const Config& config);
+
+  /// Registers `count` arrivals at `ts` (non-decreasing, >= 1).
+  void Add(Timestamp ts, uint64_t count = 1);
+
+  /// Estimate of arrivals in (now-range, now]: exact for ranges within
+  /// the exact buffer, linear slot interpolation beyond it.
+  double Estimate(Timestamp now, uint64_t range) const;
+
+  /// Migrates exact entries that aged past `exact_len` into the tail and
+  /// drops expired tail slots.
+  void Expire(Timestamp now);
+
+  uint64_t lifetime_count() const { return lifetime_; }
+  uint64_t window_len() const { return window_len_; }
+  Timestamp last_timestamp() const { return last_ts_; }
+  size_t MemoryBytes() const;
+
+  /// Number of runs currently in the exact buffer (test hook).
+  size_t ExactRuns() const { return exact_.size(); }
+
+ private:
+  struct Run {
+    Timestamp ts;
+    uint64_t count;
+  };
+
+  size_t SlotIndex(Timestamp ts) const {
+    return static_cast<size_t>((ts / span_) % slots_.size());
+  }
+  Timestamp SlotEpoch(Timestamp ts) const { return (ts / span_) * span_; }
+  void AddToTail(Timestamp ts, uint64_t count);
+
+  uint64_t window_len_;
+  uint64_t exact_len_;
+  uint64_t span_;
+  std::deque<Run> exact_;  // oldest first, all within exact_len of last_ts_
+  std::vector<uint64_t> slots_;
+  std::vector<Timestamp> slot_epochs_;
+  uint64_t lifetime_ = 0;
+  Timestamp last_ts_ = 0;
+};
+
+}  // namespace ecm
+
+#include <cmath>
+
+#include "src/core/ecm_sketch.h"
+
+namespace ecm {
+
+/// EcmSketch<HybridHistogram> support: exact resolution over the most
+/// recent 5% of the window, ε_sw-granular equi-width tail — the natural
+/// memory-comparable configuration against an ε_sw exponential histogram.
+template <>
+inline HybridHistogram::Config MakeCounterConfig<HybridHistogram>(
+    const EcmConfig& cfg) {
+  HybridHistogram::Config c;
+  c.window_len = cfg.window_len;
+  c.exact_len = std::max<uint64_t>(1, cfg.window_len / 20);
+  c.num_subwindows = static_cast<uint32_t>(
+      std::ceil(1.0 / (cfg.epsilon_sw > 0 ? cfg.epsilon_sw : 0.1)));
+  return c;
+}
+
+}  // namespace ecm
+
+#endif  // ECM_WINDOW_HYBRID_HISTOGRAM_H_

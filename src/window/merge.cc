@@ -1,0 +1,169 @@
+#include "src/window/merge.h"
+
+#include <algorithm>
+
+#include "src/util/random.h"
+
+namespace ecm {
+
+void AppendBucketEvents(const std::vector<BucketView>& buckets,
+                        std::vector<ReplayEvent>* events) {
+  for (const BucketView& b : buckets) {
+    if (b.size == 0) continue;
+    uint64_t at_start = b.size / 2;
+    uint64_t at_end = b.size - at_start;
+    Timestamp start = std::max<Timestamp>(b.start, 1);
+    Timestamp end = std::max<Timestamp>(b.end, 1);
+    if (at_start > 0 && start < end) {
+      events->push_back(ReplayEvent{start, at_start});
+      events->push_back(ReplayEvent{end, at_end});
+    } else {
+      // Zero-width bucket (or start clamped past end): everything at end.
+      events->push_back(ReplayEvent{end, b.size});
+    }
+  }
+}
+
+Result<ExponentialHistogram> MergeHistograms(
+    const std::vector<const ExponentialHistogram*>& inputs,
+    double eps_prime) {
+  if (inputs.empty()) {
+    return Status::InvalidArgument("MergeHistograms: no inputs");
+  }
+  uint64_t window = inputs[0]->window_len();
+  for (const auto* eh : inputs) {
+    if (eh->window_len() != window) {
+      return Status::Incompatible(
+          "MergeHistograms: inputs cover different window lengths");
+    }
+  }
+  std::vector<ReplayEvent> events;
+  for (const auto* eh : inputs) AppendBucketEvents(eh->Buckets(), &events);
+
+  ExponentialHistogram merged(
+      ExponentialHistogram::Config{eps_prime, window});
+  ReplayInto(std::move(events), &merged);
+  return merged;
+}
+
+Result<DeterministicWave> MergeWaves(
+    const std::vector<const DeterministicWave*>& inputs, double eps_prime,
+    uint64_t max_arrivals) {
+  if (inputs.empty()) {
+    return Status::InvalidArgument("MergeWaves: no inputs");
+  }
+  uint64_t window = inputs[0]->window_len();
+  for (const auto* dw : inputs) {
+    if (dw->window_len() != window) {
+      return Status::Incompatible(
+          "MergeWaves: inputs cover different window lengths");
+    }
+  }
+  std::vector<ReplayEvent> events;
+  for (const auto* dw : inputs) AppendBucketEvents(dw->Buckets(), &events);
+
+  DeterministicWave merged(
+      DeterministicWave::Config{eps_prime, window, max_arrivals});
+  ReplayInto(std::move(events), &merged);
+  return merged;
+}
+
+namespace {
+
+// Extends a sub-wave's sampling hierarchy past its stored top level:
+// entries at the source level survive to each further level with
+// probability 1/2 (seeded, so merges are reproducible). Returns the
+// simulated levels (top_stored+1 .. target_levels-1).
+std::vector<std::vector<Timestamp>> ExtendLevels(
+    const std::deque<Timestamp>& top_level, int levels_to_add, Rng* rng) {
+  std::vector<std::vector<Timestamp>> out;
+  std::vector<Timestamp> current(top_level.begin(), top_level.end());
+  for (int i = 0; i < levels_to_add; ++i) {
+    std::vector<Timestamp> next;
+    next.reserve(current.size() / 2 + 1);
+    for (Timestamp ts : current) {
+      if (rng->Bernoulli(0.5)) next.push_back(ts);
+    }
+    out.push_back(next);
+    current = std::move(next);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<RandomizedWave> MergeRandomizedWaves(
+    const std::vector<const RandomizedWave*>& inputs, uint64_t seed) {
+  if (inputs.empty()) {
+    return Status::InvalidArgument("MergeRandomizedWaves: no inputs");
+  }
+  const RandomizedWave& first = *inputs[0];
+  int target_levels = first.num_levels();
+  for (const auto* rw : inputs) {
+    if (rw->window_len() != first.window_len() ||
+        rw->epsilon() != first.epsilon() || rw->delta() != first.delta() ||
+        rw->num_subwaves() != first.num_subwaves() ||
+        rw->level_capacity() != first.level_capacity()) {
+      return Status::Incompatible(
+          "MergeRandomizedWaves: inputs differ in epsilon/delta/window/"
+          "sub-wave configuration");
+    }
+    target_levels = std::max(target_levels, rw->num_levels());
+  }
+
+  // Construct a wave with exactly target_levels levels: the constructor
+  // derives levels from max_arrivals, so invert that formula.
+  RandomizedWave::Config cfg;
+  cfg.epsilon = first.epsilon();
+  cfg.delta = first.delta();
+  cfg.window_len = first.window_len();
+  cfg.seed = seed;
+  cfg.max_arrivals =
+      static_cast<uint64_t>(first.level_capacity()) << (target_levels - 1);
+  RandomizedWave merged(cfg);
+
+  Rng rng(seed ^ 0xD157F1B5ULL);
+  size_t capacity = first.level_capacity();
+  uint64_t lifetime = 0;
+  Timestamp last_ts = 0;
+
+  for (int s = 0; s < first.num_subwaves(); ++s) {
+    auto& out_sw = merged.mutable_subwaves()[s];
+    for (int l = 0; l < merged.num_levels(); ++l) {
+      std::vector<Timestamp> entries;
+      bool truncated = false;
+      for (const auto* rw : inputs) {
+        const auto& in_sw = rw->subwaves()[s];
+        int in_top = rw->num_levels() - 1;
+        if (l <= in_top) {
+          entries.insert(entries.end(), in_sw.levels[l].begin(),
+                         in_sw.levels[l].end());
+          truncated = truncated || in_sw.truncated[l];
+        } else {
+          // Input provisioned fewer levels: sub-sample its top level on.
+          auto ext = ExtendLevels(in_sw.levels[in_top], l - in_top, &rng);
+          const auto& sim = ext.back();
+          entries.insert(entries.end(), sim.begin(), sim.end());
+          truncated = truncated || in_sw.truncated[in_top];
+        }
+      }
+      std::sort(entries.begin(), entries.end());
+      if (entries.size() > capacity) {
+        entries.erase(entries.begin(),
+                      entries.begin() + (entries.size() - capacity));
+        truncated = true;
+      }
+      out_sw.levels[l].assign(entries.begin(), entries.end());
+      out_sw.truncated[l] = truncated;
+    }
+  }
+  for (const auto* rw : inputs) {
+    lifetime += rw->lifetime_count();
+    last_ts = std::max(last_ts, rw->last_timestamp());
+  }
+  merged.set_lifetime_count(lifetime);
+  merged.set_last_timestamp(last_ts);
+  return merged;
+}
+
+}  // namespace ecm

@@ -1,0 +1,216 @@
+#include "src/window/randomized_wave.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/util/bits.h"
+
+namespace ecm {
+
+RandomizedWave::RandomizedWave(const Config& config)
+    : epsilon_(config.epsilon),
+      delta_(config.delta),
+      window_len_(config.window_len),
+      rng_(config.seed) {
+  assert(epsilon_ > 0.0 && epsilon_ <= 1.0);
+  assert(delta_ > 0.0 && delta_ < 1.0);
+  assert(window_len_ > 0);
+  // Clamp before the float->int cast: an adversarially tiny epsilon
+  // (e.g. from deserialized bytes) must not overflow into UB.
+  double capacity = std::ceil(config.sample_constant / (epsilon_ * epsilon_));
+  if (!(capacity >= 1.0)) capacity = 1.0;
+  if (capacity > 1e9) capacity = 1e9;
+  level_capacity_ = static_cast<size_t>(capacity);
+  // Enough levels that the top level's sample (expected n * 2^-(L-1)
+  // entries) fits in one level's capacity for max_arrivals arrivals.
+  uint64_t u = std::max<uint64_t>(config.max_arrivals, 1);
+  num_levels_ = 1;
+  if (u > level_capacity_) {
+    num_levels_ = CeilLog2((u + level_capacity_ - 1) / level_capacity_) + 1;
+  }
+  // Odd number of sub-waves for an unambiguous median; Θ(log 1/δ).
+  int d = static_cast<int>(std::ceil(std::log2(1.0 / delta_)));
+  if (d < 1) d = 1;
+  if (d % 2 == 0) ++d;
+  subwaves_.resize(d);
+  for (auto& sw : subwaves_) {
+    sw.levels.resize(num_levels_);
+    sw.truncated.assign(num_levels_, false);
+  }
+}
+
+void RandomizedWave::Add(Timestamp ts, uint64_t count) {
+  assert(ts >= last_ts_ && "timestamps must be non-decreasing");
+  last_ts_ = ts;
+  for (uint64_t i = 0; i < count; ++i) {
+    ++lifetime_;
+    for (auto& sw : subwaves_) {
+      int g = rng_.GeometricLevel(num_levels_ - 1);
+      for (int l = 0; l <= g; ++l) {
+        sw.levels[l].push_back(ts);
+        if (sw.levels[l].size() > level_capacity_) {
+          sw.levels[l].pop_front();
+          sw.truncated[l] = true;
+        }
+      }
+    }
+  }
+  Expire(ts);
+}
+
+void RandomizedWave::Expire(Timestamp now) {
+  Timestamp wstart = WindowStart(now, window_len_);
+  for (auto& sw : subwaves_) {
+    for (int l = 0; l < num_levels_; ++l) {
+      auto& level = sw.levels[l];
+      // Keep one entry at or before the window start as coverage anchor.
+      while (level.size() > 1 && level[1] <= wstart) {
+        level.pop_front();
+        sw.truncated[l] = true;
+      }
+    }
+  }
+}
+
+double RandomizedWave::EstimateSubWave(int idx, Timestamp now,
+                                       uint64_t range) const {
+  if (range > window_len_) range = window_len_;
+  Timestamp boundary = WindowStart(now, range);
+  const SubWave& sw = subwaves_[idx];
+
+  for (int l = 0; l < num_levels_; ++l) {
+    const auto& level = sw.levels[l];
+    bool covers =
+        !sw.truncated[l] || (!level.empty() && level.front() <= boundary);
+    if (!covers) continue;
+    // Number of sampled arrivals strictly inside the range.
+    auto it = std::partition_point(
+        level.begin(), level.end(),
+        [boundary](Timestamp t) { return t <= boundary; });
+    auto in_range = static_cast<double>(level.end() - it);
+    return in_range * static_cast<double>(1ULL << l);
+  }
+  // No level covers the boundary (possible only under adversarial
+  // truncation); the coarsest level is the best effort.
+  const auto& top = sw.levels[num_levels_ - 1];
+  return static_cast<double>(top.size()) *
+         static_cast<double>(1ULL << (num_levels_ - 1));
+}
+
+double RandomizedWave::Estimate(Timestamp now, uint64_t range) const {
+  assert(now >= last_ts_);
+  std::vector<double> ests;
+  ests.reserve(subwaves_.size());
+  for (int i = 0; i < num_subwaves(); ++i) {
+    ests.push_back(EstimateSubWave(i, now, range));
+  }
+  auto mid = ests.begin() + ests.size() / 2;
+  std::nth_element(ests.begin(), mid, ests.end());
+  return *mid;
+}
+
+size_t RandomizedWave::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& sw : subwaves_) {
+    bytes += sw.levels.size() *
+             (sizeof(std::deque<Timestamp>) + sizeof(bool));
+    for (const auto& level : sw.levels) {
+      bytes += level.size() * sizeof(Timestamp);
+    }
+  }
+  return bytes;
+}
+
+namespace {
+constexpr uint8_t kRwMagic = 0xB7;
+}  // namespace
+
+void RandomizedWave::SerializeTo(ByteWriter* w) const {
+  w->PutFixed<uint8_t>(kRwMagic);
+  w->PutDouble(epsilon_);
+  w->PutDouble(delta_);
+  w->PutVarint(window_len_);
+  w->PutVarint(level_capacity_);
+  w->PutVarint(static_cast<uint64_t>(num_levels_));
+  w->PutVarint(subwaves_.size());
+  w->PutVarint(lifetime_);
+  w->PutVarint(last_ts_);
+  for (const SubWave& sw : subwaves_) {
+    for (int l = 0; l < num_levels_; ++l) {
+      w->PutFixed<uint8_t>(sw.truncated[l] ? 1 : 0);
+      w->PutVarint(sw.levels[l].size());
+      Timestamp prev = 0;
+      for (Timestamp ts : sw.levels[l]) {
+        w->PutVarint(ts - prev);
+        prev = ts;
+      }
+    }
+  }
+}
+
+Result<RandomizedWave> RandomizedWave::Deserialize(ByteReader* r) {
+  auto magic = r->GetFixed<uint8_t>();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kRwMagic) {
+    return Status::Corruption("bad randomized-wave magic byte");
+  }
+  auto epsilon = r->GetDouble();
+  if (!epsilon.ok()) return epsilon.status();
+  auto delta = r->GetDouble();
+  if (!delta.ok()) return delta.status();
+  auto window = r->GetVarint();
+  if (!window.ok()) return window.status();
+  auto capacity = r->GetVarint();
+  if (!capacity.ok()) return capacity.status();
+  auto num_levels = r->GetVarint();
+  if (!num_levels.ok()) return num_levels.status();
+  auto num_subwaves = r->GetVarint();
+  if (!num_subwaves.ok()) return num_subwaves.status();
+  if (!(*epsilon > 0.0) || *epsilon > 1.0 || !(*delta > 0.0) ||
+      *delta >= 1.0 || *window == 0 || *capacity == 0 || *num_levels == 0 ||
+      *num_levels > 64 || *num_subwaves == 0 || *num_subwaves > 257) {
+    return Status::Corruption("randomized-wave header out of domain");
+  }
+
+  Config cfg;
+  cfg.epsilon = *epsilon;
+  cfg.delta = *delta;
+  cfg.window_len = *window;
+  cfg.max_arrivals = 1;
+  RandomizedWave rw(cfg);
+  rw.level_capacity_ = *capacity;
+  rw.num_levels_ = static_cast<int>(*num_levels);
+  rw.subwaves_.assign(*num_subwaves, SubWave{});
+  for (auto& sw : rw.subwaves_) {
+    sw.levels.resize(rw.num_levels_);
+    sw.truncated.assign(rw.num_levels_, false);
+  }
+
+  auto lifetime = r->GetVarint();
+  if (!lifetime.ok()) return lifetime.status();
+  rw.lifetime_ = *lifetime;
+  auto last_ts = r->GetVarint();
+  if (!last_ts.ok()) return last_ts.status();
+  rw.last_ts_ = *last_ts;
+
+  for (auto& sw : rw.subwaves_) {
+    for (int l = 0; l < rw.num_levels_; ++l) {
+      auto truncated = r->GetFixed<uint8_t>();
+      if (!truncated.ok()) return truncated.status();
+      sw.truncated[l] = (*truncated != 0);
+      auto count = r->GetVarint();
+      if (!count.ok()) return count.status();
+      Timestamp prev = 0;
+      for (uint64_t i = 0; i < *count; ++i) {
+        auto delta_ts = r->GetVarint();
+        if (!delta_ts.ok()) return delta_ts.status();
+        prev += *delta_ts;
+        sw.levels[l].push_back(prev);
+      }
+    }
+  }
+  return rw;
+}
+
+}  // namespace ecm

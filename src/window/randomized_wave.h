@@ -1,0 +1,117 @@
+// Randomized wave (Gibbons & Tirthapura, SPAA 2002) — (ε, δ)-approximate
+// basic counting over a sliding window, the "ECM-RW" counter variant.
+//
+// Each arrival is assigned an independent geometric level g (P[g >= l] =
+// 2^-l); level l of the wave samples the stream with probability 2^-l by
+// retaining the timestamps of arrivals with g >= l, keeping only the most
+// recent c = ceil(k/ε²) per level. A query uses the finest level whose
+// retained sample still spans the range boundary and scales the in-range
+// sample count by 2^l. Repeating the structure in d = Θ(log 1/δ)
+// independent sub-waves and taking the median of the estimates drives the
+// failure probability below δ.
+//
+// The point of carrying this Θ(1/ε²)-space structure alongside the
+// deterministic synopses is the paper's central trade-off: randomized
+// waves merge *losslessly* (§5.2) but cost one to two orders of magnitude
+// more memory and network — exactly the effect benches fig4/fig5/fig6
+// reproduce.
+
+#ifndef ECM_WINDOW_RANDOMIZED_WAVE_H_
+#define ECM_WINDOW_RANDOMIZED_WAVE_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/random.h"
+#include "src/util/result.h"
+#include "src/window/window_spec.h"
+
+namespace ecm {
+
+/// (ε, δ)-approximate sliding-window counter based on hierarchical
+/// sampling. Losslessly mergeable across streams (see window/merge.h).
+class RandomizedWave {
+ public:
+  struct Config {
+    double epsilon = 0.1;        ///< target relative error
+    double delta = 0.1;          ///< failure probability
+    uint64_t window_len = 100;   ///< N: window length
+    uint64_t max_arrivals = 1 << 20;  ///< u(N,S): arrivals bound per window
+    uint64_t seed = 0xECADECADULL;    ///< sampling seed (per-counter)
+    /// Per-level capacity multiplier: c = ceil(sample_constant / ε²).
+    /// The theory constant is conservative; 4 reproduces the paper's
+    /// accuracy in practice and keeps the memory ratio honest.
+    double sample_constant = 4.0;
+  };
+
+  RandomizedWave() : RandomizedWave(Config{}) {}
+  explicit RandomizedWave(const Config& config);
+
+  /// Registers `count` arrivals at timestamp `ts` (non-decreasing, >= 1).
+  void Add(Timestamp ts, uint64_t count = 1);
+
+  /// Median-of-sub-waves estimate of the arrivals in (now - range, now].
+  double Estimate(Timestamp now, uint64_t range) const;
+
+  /// Drops sample entries that can no longer influence in-window queries.
+  void Expire(Timestamp now);
+
+  /// Exact number of arrivals ever registered.
+  uint64_t lifetime_count() const { return lifetime_; }
+
+  /// Approximate in-memory footprint in bytes.
+  size_t MemoryBytes() const;
+
+  double epsilon() const { return epsilon_; }
+  double delta() const { return delta_; }
+  uint64_t window_len() const { return window_len_; }
+  int num_subwaves() const { return static_cast<int>(subwaves_.size()); }
+  int num_levels() const { return num_levels_; }
+  size_t level_capacity() const { return level_capacity_; }
+  Timestamp last_timestamp() const { return last_ts_; }
+
+  /// One independent sampling structure. Public so the §5.2 merge
+  /// (window/merge.h) can unite per-level samples across waves.
+  struct SubWave {
+    /// levels[l] = timestamps of retained arrivals with geometric level
+    /// >= l, oldest first, capped at the wave's level capacity.
+    std::vector<std::deque<Timestamp>> levels;
+    /// True once level l has dropped an entry (capacity or expiry): the
+    /// sample no longer reaches arbitrarily far left.
+    std::vector<bool> truncated;
+  };
+
+  const std::vector<SubWave>& subwaves() const { return subwaves_; }
+  std::vector<SubWave>& mutable_subwaves() { return subwaves_; }
+
+  /// Sets the lifetime counter (merge helper).
+  void set_lifetime_count(uint64_t n) { lifetime_ = n; }
+  void set_last_timestamp(Timestamp ts) { last_ts_ = ts; }
+
+  /// Estimate from a single sub-wave (exposed for tests).
+  double EstimateSubWave(int idx, Timestamp now, uint64_t range) const;
+
+  /// Appends the exact wire encoding to `w`.
+  void SerializeTo(ByteWriter* w) const;
+
+  /// Decodes a wave previously written by SerializeTo.
+  static Result<RandomizedWave> Deserialize(ByteReader* r);
+
+ private:
+  double epsilon_;
+  double delta_;
+  uint64_t window_len_;
+  size_t level_capacity_;
+  int num_levels_;
+
+  std::vector<SubWave> subwaves_;
+  Rng rng_;
+  uint64_t lifetime_ = 0;
+  Timestamp last_ts_ = 0;
+};
+
+}  // namespace ecm
+
+#endif  // ECM_WINDOW_RANDOMIZED_WAVE_H_

@@ -1,0 +1,48 @@
+// Common vocabulary for sliding-window synopses.
+//
+// The paper (§4) supports two sliding-window models:
+//  * time-based  — "items seen in the last N time units";
+//  * count-based — "the last N arrivals of the stream".
+//
+// Both are handled by one code path: every arrival carries a Timestamp that
+// is either a wall-clock tick (time-based) or the global arrival index of
+// the *stream* (count-based). A window of length N at instant `now` covers
+// exactly the timestamps in (now - N, now].
+
+#ifndef ECM_WINDOW_WINDOW_SPEC_H_
+#define ECM_WINDOW_WINDOW_SPEC_H_
+
+#include <cstdint>
+
+namespace ecm {
+
+/// Timestamp of an arrival: wall-clock tick (time-based windows) or global
+/// arrival index starting at 1 (count-based windows).
+using Timestamp = uint64_t;
+
+/// Which sliding-window model a synopsis operates under.
+enum class WindowMode : uint8_t {
+  kTimeBased = 0,
+  kCountBased = 1,
+};
+
+inline const char* WindowModeToString(WindowMode m) {
+  return m == WindowMode::kTimeBased ? "time-based" : "count-based";
+}
+
+/// True iff timestamp `ts` lies inside the window of length `len` ending at
+/// `now`, i.e. ts ∈ (now - len, now].
+inline bool InWindow(Timestamp ts, Timestamp now, uint64_t len) {
+  // Written as a subtraction so that huge window lengths cannot overflow.
+  return ts <= now && now - ts < len;
+}
+
+/// Start boundary of the window (exclusive): items with ts <= this value
+/// are outside the window. Saturates at 0.
+inline Timestamp WindowStart(Timestamp now, uint64_t len) {
+  return now >= len ? now - len : 0;
+}
+
+}  // namespace ecm
+
+#endif  // ECM_WINDOW_WINDOW_SPEC_H_

@@ -1,0 +1,201 @@
+// Tests for the balanced-binary-tree aggregation substrate: tree shape,
+// root correctness vs the union stream, network accounting, and the
+// §5.1 leaf-epsilon calibration.
+
+#include "src/dist/aggregation_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/stream/generators.h"
+
+namespace ecm {
+namespace {
+
+TEST(TreeShapeTest, Heights) {
+  EXPECT_EQ(TreeHeight(1), 0);
+  EXPECT_EQ(TreeHeight(2), 1);
+  EXPECT_EQ(TreeHeight(3), 2);
+  EXPECT_EQ(TreeHeight(4), 2);
+  EXPECT_EQ(TreeHeight(33), 6);
+  EXPECT_EQ(TreeHeight(256), 8);
+  EXPECT_EQ(TreeHeight(535), 10);
+}
+
+TEST(TreeShapeTest, LeafEpsilonInvertsMultiLevelBound) {
+  for (int h : {1, 3, 6, 10}) {
+    for (double target : {0.05, 0.1, 0.3}) {
+      double leaf = LeafEpsilonForTarget(target, h);
+      EXPECT_GT(leaf, 0.0);
+      EXPECT_LT(leaf, target);
+      EXPECT_NEAR(MultiLevelErrorBound(leaf, h), target, 1e-9);
+    }
+  }
+}
+
+TEST(TreeShapeTest, HeightZeroPassesThrough) {
+  EXPECT_DOUBLE_EQ(LeafEpsilonForTarget(0.1, 0), 0.1);
+  EXPECT_DOUBLE_EQ(MultiLevelErrorBound(0.1, 0), 0.1);
+}
+
+class AggregateTreeTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kWindow = 100000;
+
+  struct Setup {
+    std::vector<EcmSketch<ExponentialHistogram>> leaves;
+    std::vector<StreamEvent> events;
+    Timestamp now;
+  };
+
+  Setup Build(int n, double epsilon, uint64_t seed) {
+    auto cfg = EcmConfig::Create(epsilon, 0.1, WindowMode::kTimeBased,
+                                 kWindow, seed);
+    EXPECT_TRUE(cfg.ok());
+    ZipfStream::Config zc;
+    zc.domain = 2000;
+    zc.skew = 1.0;
+    zc.num_nodes = n;
+    zc.seed = seed;
+    ZipfStream stream(zc);
+    Setup s;
+    s.events = stream.Take(30000);
+    s.now = s.events.back().ts;
+    s.leaves.assign(n, EcmSketch<ExponentialHistogram>(*cfg));
+    for (const auto& e : s.events) s.leaves[e.node].Add(e.key, e.ts);
+    for (auto& leaf : s.leaves) leaf.AdvanceTo(s.now);
+    return s;
+  }
+};
+
+TEST_F(AggregateTreeTest, RejectsEmpty) {
+  std::vector<EcmSketch<ExponentialHistogram>> empty;
+  EXPECT_FALSE(AggregateTree(empty).ok());
+}
+
+TEST_F(AggregateTreeTest, SingleLeafIsIdentityWithNoTraffic) {
+  auto s = Build(1, 0.1, 3);
+  auto out = AggregateTree(s.leaves);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->height, 0);
+  EXPECT_EQ(out->network.bytes, 0u);
+  EXPECT_EQ(out->root.PointQueryAt(1, kWindow, s.now),
+            s.leaves[0].PointQueryAt(1, kWindow, s.now));
+}
+
+TEST_F(AggregateTreeTest, RootApproximatesUnionStream) {
+  for (int n : {2, 5, 8, 16}) {
+    auto s = Build(n, 0.1, 100 + n);
+    auto out = AggregateTree(s.leaves);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out->height, TreeHeight(n));
+    auto exact = ComputeExactRangeStats(s.events, s.now, 20000);
+    // Multi-level bound with h levels; generous test band of h*eps + eps.
+    double band =
+        MultiLevelErrorBound(0.1, out->height) * static_cast<double>(exact.l1) +
+        3.0;
+    size_t violations = 0;
+    for (const auto& [key, count] : exact.freqs) {
+      double est = out->root.PointQueryAt(key, 20000, s.now);
+      if (std::abs(est - static_cast<double>(count)) > band) ++violations;
+    }
+    EXPECT_LE(violations, exact.freqs.size() / 8 + 2) << "n=" << n;
+  }
+}
+
+TEST_F(AggregateTreeTest, NetworkAccountingMatchesEdges) {
+  auto s = Build(8, 0.1, 9);
+  auto out = AggregateTree(s.leaves);
+  ASSERT_TRUE(out.ok());
+  // Full binary tree over 8 leaves: 8 + 4 + 2 = 14 transfers.
+  EXPECT_EQ(out->network.messages, 14u);
+  EXPECT_GT(out->network.bytes, 0u);
+}
+
+TEST_F(AggregateTreeTest, OddLeafCountCarriesSurvivor) {
+  auto s = Build(5, 0.1, 10);
+  auto out = AggregateTree(s.leaves);
+  ASSERT_TRUE(out.ok());
+  // 5 -> 2 merges (4 msgs) + carry; 3 -> 1 merge (2 msgs) + carry;
+  // 2 -> 1 merge (2 msgs). Total 8 messages, height 3.
+  EXPECT_EQ(out->height, 3);
+  EXPECT_EQ(out->network.messages, 8u);
+  EXPECT_EQ(out->root.l1_lifetime(), s.events.size());
+}
+
+TEST_F(AggregateTreeTest, TransferVolumeGrowsWithLeafCount) {
+  auto s4 = Build(4, 0.1, 11);
+  auto s16 = Build(16, 0.1, 11);
+  auto o4 = AggregateTree(s4.leaves);
+  auto o16 = AggregateTree(s16.leaves);
+  ASSERT_TRUE(o4.ok() && o16.ok());
+  EXPECT_GT(o16->network.bytes, o4->network.bytes);
+}
+
+TEST_F(AggregateTreeTest, CalibratedLeavesMeetTargetAtRoot) {
+  // Configure leaves with LeafEpsilonForTarget so the root meets the
+  // target despite 3 merge levels.
+  constexpr double kTarget = 0.15;
+  int n = 8;
+  double leaf_eps = LeafEpsilonForTarget(kTarget, TreeHeight(n));
+  auto cfg =
+      EcmConfig::Create(leaf_eps, 0.1, WindowMode::kTimeBased, kWindow, 5);
+  ASSERT_TRUE(cfg.ok());
+  ZipfStream::Config zc;
+  zc.domain = 1000;
+  zc.skew = 1.0;
+  zc.num_nodes = n;
+  zc.seed = 6;
+  ZipfStream stream(zc);
+  auto events = stream.Take(30000);
+  Timestamp now = events.back().ts;
+  std::vector<EcmSketch<ExponentialHistogram>> leaves(
+      n, EcmSketch<ExponentialHistogram>(*cfg));
+  for (const auto& e : events) leaves[e.node].Add(e.key, e.ts);
+  for (auto& leaf : leaves) leaf.AdvanceTo(now);
+  auto out = AggregateTree(leaves, cfg->epsilon_sw);
+  ASSERT_TRUE(out.ok());
+
+  auto exact = ComputeExactRangeStats(events, now, 20000);
+  double band = kTarget * static_cast<double>(exact.l1) +
+                cfg->epsilon_cm * static_cast<double>(exact.l1) + 3.0;
+  size_t violations = 0;
+  for (const auto& [key, count] : exact.freqs) {
+    double est = out->root.PointQueryAt(key, 20000, now);
+    if (std::abs(est - static_cast<double>(count)) > band) ++violations;
+  }
+  EXPECT_LE(violations, exact.freqs.size() / 8 + 2);
+}
+
+TEST_F(AggregateTreeTest, RandomizedWavesAggregateThroughTree) {
+  constexpr int n = 4;
+  auto cfg = EcmConfig::Create(0.15, 0.1, WindowMode::kTimeBased, kWindow, 8,
+                               OptimizeFor::kPointQueries,
+                               CounterFamily::kRandomized, 1 << 16);
+  ASSERT_TRUE(cfg.ok());
+  ZipfStream::Config zc;
+  zc.domain = 500;
+  zc.skew = 1.0;
+  zc.num_nodes = n;
+  zc.seed = 12;
+  ZipfStream stream(zc);
+  auto events = stream.Take(20000);
+  Timestamp now = events.back().ts;
+  std::vector<EcmSketch<RandomizedWave>> leaves(
+      n, EcmSketch<RandomizedWave>(*cfg));
+  for (const auto& e : events) leaves[e.node].Add(e.key, e.ts);
+  auto out = AggregateTree(leaves);
+  ASSERT_TRUE(out.ok()) << out.status();
+  auto exact = ComputeExactRangeStats(events, now, 20000);
+  double band = 2.5 * 0.15 * static_cast<double>(exact.l1) + 3.0;
+  size_t violations = 0;
+  for (const auto& [key, count] : exact.freqs) {
+    double est = out->root.PointQueryAt(key, 20000, now);
+    if (std::abs(est - static_cast<double>(count)) > band) ++violations;
+  }
+  EXPECT_LE(violations, exact.freqs.size() / 6 + 2);
+}
+
+}  // namespace
+}  // namespace ecm

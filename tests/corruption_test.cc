@@ -1,0 +1,159 @@
+// Failure-injection tests for the wire format: deserializers must survive
+// arbitrary truncation and random byte corruption of every synopsis type
+// without crashing — either rejecting with a Corruption status or, when
+// the flip happens to produce a well-formed payload, yielding an object
+// that answers queries without undefined behaviour.
+
+#include <gtest/gtest.h>
+
+#include "src/dist/serialize.h"
+#include "src/stream/generators.h"
+#include "src/util/random.h"
+
+namespace ecm {
+namespace {
+
+template <typename Counter>
+std::vector<uint8_t> SerializedCounter(uint64_t seed) {
+  typename Counter::Config cfg{};
+  if constexpr (std::is_same_v<Counter, ExponentialHistogram>) {
+    cfg = {0.1, 5000};
+  } else if constexpr (std::is_same_v<Counter, DeterministicWave>) {
+    cfg = {0.1, 5000, 1 << 14};
+  } else if constexpr (std::is_same_v<Counter, RandomizedWave>) {
+    cfg.epsilon = 0.2;
+    cfg.window_len = 5000;
+    cfg.max_arrivals = 1 << 12;
+    cfg.seed = seed;
+  } else {
+    cfg = {5000};
+  }
+  Counter counter(cfg);
+  Rng rng(seed);
+  Timestamp t = 1;
+  for (int i = 0; i < 3000; ++i) {
+    t += rng.Uniform(3);
+    counter.Add(t);
+  }
+  ByteWriter w;
+  counter.SerializeTo(&w);
+  return w.MoveBytes();
+}
+
+template <typename Counter>
+void RunTruncationSweep() {
+  auto bytes = SerializedCounter<Counter>(1);
+  // Every strict prefix must be rejected or parse to a safe object.
+  for (size_t len = 0; len < bytes.size(); len += 7) {
+    ByteReader r(bytes.data(), len);
+    auto result = Counter::Deserialize(&r);
+    if (result.ok()) {
+      // A prefix that happens to parse must still answer queries safely.
+      (void)result->Estimate(result->last_timestamp(), 1000);
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+    }
+  }
+}
+
+TEST(CorruptionTest, EhTruncationSweep) {
+  RunTruncationSweep<ExponentialHistogram>();
+}
+TEST(CorruptionTest, DwTruncationSweep) {
+  RunTruncationSweep<DeterministicWave>();
+}
+TEST(CorruptionTest, RwTruncationSweep) {
+  RunTruncationSweep<RandomizedWave>();
+}
+TEST(CorruptionTest, ExactTruncationSweep) {
+  RunTruncationSweep<ExactWindow>();
+}
+
+template <typename Counter>
+void RunBitFlipSweep(int trials) {
+  auto bytes = SerializedCounter<Counter>(2);
+  Rng rng(99);
+  for (int trial = 0; trial < trials; ++trial) {
+    auto corrupted = bytes;
+    // Flip 1-4 random bits.
+    int flips = 1 + static_cast<int>(rng.Uniform(4));
+    for (int f = 0; f < flips; ++f) {
+      size_t pos = rng.Uniform(corrupted.size());
+      corrupted[pos] ^= static_cast<uint8_t>(1u << rng.Uniform(8));
+    }
+    ByteReader r(corrupted);
+    auto result = Counter::Deserialize(&r);
+    if (result.ok()) {
+      (void)result->Estimate(result->last_timestamp(), 1000);
+      (void)result->MemoryBytes();
+    }
+  }
+}
+
+TEST(CorruptionTest, EhBitFlips) { RunBitFlipSweep<ExponentialHistogram>(300); }
+TEST(CorruptionTest, DwBitFlips) { RunBitFlipSweep<DeterministicWave>(300); }
+TEST(CorruptionTest, RwBitFlips) { RunBitFlipSweep<RandomizedWave>(300); }
+TEST(CorruptionTest, ExactBitFlips) { RunBitFlipSweep<ExactWindow>(300); }
+
+TEST(CorruptionTest, SketchTruncationSweep) {
+  auto sketch = EcmEh::Create(0.15, 0.2, WindowMode::kTimeBased, 5000, 3);
+  ASSERT_TRUE(sketch.ok());
+  Rng rng(5);
+  Timestamp t = 1;
+  for (int i = 0; i < 5000; ++i) {
+    t += rng.Uniform(2);
+    sketch->Add(rng.Uniform(100), t);
+  }
+  auto bytes = SerializeSketch(*sketch);
+  for (size_t len = 0; len < bytes.size(); len += 97) {
+    auto prefix = bytes;
+    prefix.resize(len);
+    auto result = DeserializeSketch<ExponentialHistogram>(prefix);
+    if (result.ok()) {
+      (void)result->PointQuery(1, 5000);
+    }
+  }
+}
+
+TEST(CorruptionTest, SketchBitFlips) {
+  auto sketch = EcmEh::Create(0.15, 0.2, WindowMode::kTimeBased, 5000, 4);
+  ASSERT_TRUE(sketch.ok());
+  Rng rng(6);
+  Timestamp t = 1;
+  for (int i = 0; i < 5000; ++i) {
+    t += rng.Uniform(2);
+    sketch->Add(rng.Uniform(100), t);
+  }
+  auto bytes = SerializeSketch(*sketch);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto corrupted = bytes;
+    size_t pos = rng.Uniform(corrupted.size());
+    corrupted[pos] ^= static_cast<uint8_t>(1u << rng.Uniform(8));
+    auto result = DeserializeSketch<ExponentialHistogram>(corrupted);
+    if (result.ok()) {
+      (void)result->PointQuery(1, 5000);
+      (void)result->SelfJoin(5000);
+    }
+  }
+}
+
+TEST(CorruptionTest, CrossTypeBytesRejected) {
+  // Bytes of one synopsis type must not parse as another (magic bytes).
+  auto eh_bytes = SerializedCounter<ExponentialHistogram>(7);
+  ByteReader r1(eh_bytes);
+  EXPECT_FALSE(DeterministicWave::Deserialize(&r1).ok());
+  ByteReader r2(eh_bytes);
+  EXPECT_FALSE(RandomizedWave::Deserialize(&r2).ok());
+  ByteReader r3(eh_bytes);
+  EXPECT_FALSE(ExactWindow::Deserialize(&r3).ok());
+}
+
+TEST(CorruptionTest, EmptyInputRejectedEverywhere) {
+  ByteReader r(nullptr, 0);
+  EXPECT_FALSE(ExponentialHistogram::Deserialize(&r).ok());
+  ByteReader r2(nullptr, 0);
+  EXPECT_FALSE(DeserializeEcmConfig(&r2).ok());
+}
+
+}  // namespace
+}  // namespace ecm

@@ -1,0 +1,158 @@
+// Count-based ("last N arrivals") sliding windows across the stack: the
+// ECM-sketch variants, the dyadic structure, and the engine all support
+// the mode; only distribution (merging) is excluded, per Fig. 2.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+
+#include "src/core/dyadic.h"
+#include "src/core/ecm_sketch.h"
+#include "src/util/random.h"
+
+namespace ecm {
+namespace {
+
+constexpr uint64_t kWindowArrivals = 2'000;
+
+EcmConfig CountCfg(double eps, uint64_t seed) {
+  auto cfg = EcmConfig::Create(eps, 0.05, WindowMode::kCountBased,
+                               kWindowArrivals, seed);
+  EXPECT_TRUE(cfg.ok());
+  return *cfg;
+}
+
+// Exact frequencies over the last `n` arrivals.
+class LastNReference {
+ public:
+  explicit LastNReference(size_t n) : n_(n) {}
+  void Add(uint64_t key) {
+    keys_.push_back(key);
+    if (keys_.size() > n_) keys_.pop_front();
+  }
+  uint64_t Count(uint64_t key, size_t last) const {
+    last = std::min(last, keys_.size());
+    uint64_t c = 0;
+    for (size_t i = keys_.size() - last; i < keys_.size(); ++i) {
+      if (keys_[i] == key) ++c;
+    }
+    return c;
+  }
+
+ private:
+  size_t n_;
+  std::deque<uint64_t> keys_;
+};
+
+template <typename Counter>
+void RunCountBasedSweep(double eps, uint64_t seed) {
+  auto cfg = EcmConfig::Create(
+      eps, 0.05, WindowMode::kCountBased, kWindowArrivals, seed,
+      OptimizeFor::kPointQueries,
+      std::is_same_v<Counter, RandomizedWave> ? CounterFamily::kRandomized
+                                              : CounterFamily::kDeterministic,
+      /*max_arrivals=*/kWindowArrivals * 2);
+  ASSERT_TRUE(cfg.ok());
+  EcmSketch<Counter> sketch(*cfg);
+  LastNReference ref(kWindowArrivals);
+  Rng rng(seed);
+  for (int i = 0; i < 20'000; ++i) {
+    uint64_t key = rng.Uniform(50);
+    sketch.Add(key, /*ts ignored*/ 0);
+    ref.Add(key);
+  }
+  int violations = 0, checks = 0;
+  double slack = std::is_same_v<Counter, RandomizedWave> ? 3.0 : 1.5;
+  for (uint64_t range : {200u, 1000u, 2000u}) {
+    for (uint64_t key = 0; key < 50; key += 5) {
+      double est = sketch.PointQuery(key, range);
+      double truth = static_cast<double>(ref.Count(key, range));
+      ++checks;
+      if (std::abs(est - truth) >
+          slack * eps * static_cast<double>(range) + 2.0) {
+        ++violations;
+      }
+    }
+  }
+  EXPECT_LE(violations, checks / 8 + 1);
+}
+
+TEST(CountBasedTest, EhSweep) {
+  RunCountBasedSweep<ExponentialHistogram>(0.05, 1);
+  RunCountBasedSweep<ExponentialHistogram>(0.1, 2);
+}
+
+TEST(CountBasedTest, DwSweep) {
+  RunCountBasedSweep<DeterministicWave>(0.1, 3);
+}
+
+TEST(CountBasedTest, RwSweep) { RunCountBasedSweep<RandomizedWave>(0.1, 4); }
+
+TEST(CountBasedTest, WindowEvictsByArrivalNotTime) {
+  // Arrivals carry no meaningful wall-clock: eviction must be purely
+  // positional.
+  EcmSketch<ExponentialHistogram> sketch(CountCfg(0.05, 7));
+  for (int i = 0; i < 1'000; ++i) sketch.Add(1, 0);
+  for (int i = 0; i < 2'000; ++i) sketch.Add(2, 0);
+  // Key 1 is entirely outside the last 2000 arrivals.
+  EXPECT_LE(sketch.PointQuery(1, kWindowArrivals), 0.06 * kWindowArrivals + 1);
+  EXPECT_NEAR(sketch.PointQuery(2, kWindowArrivals), 2'000,
+              0.06 * kWindowArrivals + 1);
+}
+
+TEST(CountBasedTest, SubWindowRanges) {
+  EcmSketch<ExponentialHistogram> sketch(CountCfg(0.05, 8));
+  // Alternate keys: of the last r arrivals, each key holds r/2.
+  for (int i = 0; i < 10'000; ++i) sketch.Add(i % 2 ? 10 : 20, 0);
+  for (uint64_t range : {100u, 500u, 2000u}) {
+    EXPECT_NEAR(sketch.PointQuery(10, range), range / 2.0,
+                0.06 * range + 2.0)
+        << "range " << range;
+  }
+}
+
+TEST(CountBasedTest, DyadicHeavyHittersCountBased) {
+  auto dyadic = DyadicEcm<ExponentialHistogram>::Create(
+      10, 0.02, 0.05, WindowMode::kCountBased, kWindowArrivals, 9);
+  ASSERT_TRUE(dyadic.ok());
+  Rng rng(10);
+  // Key 77 is hot only within the last kWindowArrivals arrivals.
+  for (int i = 0; i < 5'000; ++i) dyadic->Add(rng.Uniform(1024), 0);
+  for (int i = 0; i < 2'000; ++i) {
+    dyadic->Add(rng.Bernoulli(0.3) ? 77 : rng.Uniform(1024), 0);
+  }
+  auto hitters = dyadic->HeavyHitters(0.2, kWindowArrivals);
+  bool found = false;
+  for (const auto& h : hitters) {
+    if (h.key == 77) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CountBasedTest, SelfJoinCountBased) {
+  EcmSketch<ExponentialHistogram> sketch(CountCfg(0.05, 11));
+  // Last 2000 arrivals are a single key -> F2 of the window ~ 2000^2.
+  for (int i = 0; i < 3'000; ++i) sketch.Add(i % 100, 0);
+  for (int i = 0; i < 2'000; ++i) sketch.Add(5, 0);
+  double f2 = sketch.SelfJoin(kWindowArrivals);
+  EXPECT_NEAR(f2, 4e6, 4e6 * 0.3);
+}
+
+TEST(CountBasedTest, TimestampParameterIgnored) {
+  EcmSketch<ExponentialHistogram> a(CountCfg(0.05, 12));
+  EcmSketch<ExponentialHistogram> b(CountCfg(0.05, 12));
+  Rng rng(13);
+  for (int i = 0; i < 5'000; ++i) {
+    uint64_t key = rng.Uniform(40);
+    a.Add(key, 0);
+    b.Add(key, 123456 + i);  // arbitrary ts, must not matter
+  }
+  for (uint64_t key = 0; key < 40; ++key) {
+    EXPECT_EQ(a.PointQuery(key, kWindowArrivals),
+              b.PointQuery(key, kWindowArrivals));
+  }
+}
+
+}  // namespace
+}  // namespace ecm

@@ -1,0 +1,114 @@
+// Property tests for the dyadic stack beyond the basics of
+// dyadic_test.cc: range-sum additivity, quantile monotonicity and
+// inverse consistency on skewed key distributions, and window-sliding
+// behaviour of ranges.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/dyadic.h"
+#include "src/stream/generators.h"
+
+namespace ecm {
+namespace {
+
+constexpr uint64_t kWindow = 50'000;
+constexpr int kDomainBits = 11;  // 2048 keys
+
+DyadicEcm<ExponentialHistogram> BuildSkewed(double skew, uint64_t seed,
+                                            std::vector<StreamEvent>* events) {
+  auto dyadic = DyadicEcm<ExponentialHistogram>::Create(
+      kDomainBits, 0.02, 0.05, WindowMode::kTimeBased, kWindow, seed);
+  EXPECT_TRUE(dyadic.ok());
+  ZipfStream::Config zc;
+  zc.domain = 2000;
+  zc.skew = skew;
+  zc.seed = seed + 1;
+  ZipfStream stream(zc);
+  *events = stream.Take(30'000);
+  for (const auto& e : *events) dyadic->Add(e.key, e.ts);
+  return std::move(*dyadic);
+}
+
+class DyadicSkewSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DyadicSkewSweep, RangeSumsAreAdditive) {
+  std::vector<StreamEvent> events;
+  auto dyadic = BuildSkewed(GetParam(), 3, &events);
+  // [a, c] ~ [a, b] + [b+1, c] for random split points (each side is a
+  // different dyadic decomposition; errors are additive and bounded).
+  Rng rng(5);
+  auto exact = ComputeExactRangeStats(events, events.back().ts, kWindow);
+  for (int trial = 0; trial < 20; ++trial) {
+    uint64_t a = rng.Uniform(1000);
+    uint64_t c = a + 1 + rng.Uniform(1000);
+    uint64_t b = a + rng.Uniform(c - a);
+    double whole = dyadic.RangeQuery(a, c, kWindow);
+    double parts =
+        dyadic.RangeQuery(a, b, kWindow) + dyadic.RangeQuery(b + 1, c, kWindow);
+    EXPECT_NEAR(whole, parts, 0.1 * static_cast<double>(exact.l1) + 5.0)
+        << "[" << a << "," << b << "," << c << "]";
+  }
+}
+
+TEST_P(DyadicSkewSweep, QuantilesAreMonotone) {
+  std::vector<StreamEvent> events;
+  auto dyadic = BuildSkewed(GetParam(), 7, &events);
+  uint64_t prev = 0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    uint64_t k = dyadic.Quantile(q, kWindow);
+    EXPECT_GE(k, prev) << "q=" << q;
+    prev = k;
+  }
+}
+
+TEST_P(DyadicSkewSweep, QuantileInvertsRank) {
+  std::vector<StreamEvent> events;
+  auto dyadic = BuildSkewed(GetParam(), 11, &events);
+  auto exact = ComputeExactRangeStats(events, events.back().ts, kWindow);
+  for (double q : {0.25, 0.5, 0.9}) {
+    uint64_t k = dyadic.Quantile(q, kWindow);
+    // The true rank of the estimated quantile key must be near q.
+    uint64_t rank = 0;
+    for (const auto& [key, count] : exact.freqs) {
+      if (key <= k) rank += count;
+    }
+    double realized = static_cast<double>(rank) / exact.l1;
+    EXPECT_NEAR(realized, q, 0.12) << "q=" << q << " key=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, DyadicSkewSweep,
+                         ::testing::Values(0.0, 0.8, 1.2));
+
+TEST(DyadicWindowTest, RangeCountsSlideWithTheWindow) {
+  auto dyadic = DyadicEcm<ExponentialHistogram>::Create(
+      kDomainBits, 0.02, 0.05, WindowMode::kTimeBased, 1'000, 13);
+  ASSERT_TRUE(dyadic.ok());
+  // Keys 0..99 early, keys 100..199 late.
+  Timestamp t = 1;
+  for (int i = 0; i < 2'000; ++i) dyadic->Add(i % 100, t++);
+  for (int i = 0; i < 2'000; ++i) dyadic->Add(100 + i % 100, t++);
+  // The low range left the 1000-tick window; the high range fills it.
+  EXPECT_LE(dyadic->RangeQuery(0, 99, 1'000), 150.0);
+  EXPECT_NEAR(dyadic->RangeQuery(100, 199, 1'000), 1'000.0, 150.0);
+}
+
+TEST(DyadicWindowTest, HeavyHittersEstimatesAreSelfConsistent) {
+  std::vector<StreamEvent> events;
+  auto dyadic = BuildSkewed(1.2, 17, &events);
+  auto hitters = dyadic.HeavyHitters(0.02, kWindow);
+  for (const auto& h : hitters) {
+    // The reported estimate equals a fresh point query on level 0.
+    EXPECT_EQ(h.estimate, dyadic.level(0).PointQuery(h.key, kWindow));
+  }
+  // Reported keys are distinct.
+  std::vector<uint64_t> keys;
+  for (const auto& h : hitters) keys.push_back(h.key);
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end());
+}
+
+}  // namespace
+}  // namespace ecm

@@ -1,0 +1,209 @@
+// Tests for the dyadic ECM stack (§6.1): dyadic decomposition, heavy
+// hitters with the Theorem-5 completeness/soundness directions, range
+// queries, and quantiles — all over sliding windows.
+
+#include "src/core/dyadic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/stream/generators.h"
+#include "src/util/random.h"
+
+namespace ecm {
+namespace {
+
+TEST(DyadicDecomposeTest, SingleKey) {
+  auto ranges = DyadicDecompose(5, 5, 8);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].level, 0);
+  EXPECT_EQ(ranges[0].prefix, 5u);
+}
+
+TEST(DyadicDecomposeTest, AlignedBlock) {
+  auto ranges = DyadicDecompose(8, 15, 8);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].level, 3);
+  EXPECT_EQ(ranges[0].prefix, 1u);
+}
+
+TEST(DyadicDecomposeTest, FullDomainUsesTopLevelPair) {
+  auto ranges = DyadicDecompose(0, 255, 8);
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0].level, 7);
+  EXPECT_EQ(ranges[1].level, 7);
+}
+
+TEST(DyadicDecomposeTest, CoversExactlyOnce) {
+  // Property: decomposition partitions [lo, hi].
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    uint64_t lo = rng.Uniform(1000);
+    uint64_t hi = std::min<uint64_t>(lo + rng.Uniform(1000), 1023);
+    auto ranges = DyadicDecompose(lo, hi, 10);
+    std::set<uint64_t> covered;
+    for (const auto& r : ranges) {
+      uint64_t start = r.prefix << r.level;
+      for (uint64_t k = start; k < start + (1ULL << r.level); ++k) {
+        EXPECT_TRUE(covered.insert(k).second) << "key covered twice: " << k;
+      }
+    }
+    EXPECT_EQ(covered.size(), hi - lo + 1);
+    EXPECT_EQ(*covered.begin(), lo);
+    EXPECT_EQ(*covered.rbegin(), hi);
+  }
+}
+
+TEST(DyadicDecomposeTest, EmptyOnInvertedRange) {
+  EXPECT_TRUE(DyadicDecompose(10, 5, 8).empty());
+}
+
+TEST(DyadicDecomposeTest, ClampsToDomain) {
+  auto ranges = DyadicDecompose(250, 10000, 8);
+  uint64_t total = 0;
+  for (const auto& r : ranges) total += 1ULL << r.level;
+  EXPECT_EQ(total, 6u);  // 250..255
+}
+
+class DyadicEcmTest : public ::testing::Test {
+ protected:
+  static constexpr int kDomainBits = 12;  // 4096 keys
+  static constexpr uint64_t kWindow = 100000;
+
+  DyadicEcm<ExponentialHistogram> Build(double epsilon, uint64_t seed) {
+    auto d = DyadicEcm<ExponentialHistogram>::Create(
+        kDomainBits, epsilon, 0.05, WindowMode::kTimeBased, kWindow, seed);
+    EXPECT_TRUE(d.ok());
+    return std::move(*d);
+  }
+};
+
+TEST_F(DyadicEcmTest, RangeQueryMatchesExactCounts) {
+  auto dyadic = Build(0.05, 1);
+  ZipfStream::Config zc;
+  zc.domain = 4000;
+  zc.skew = 0.9;
+  zc.seed = 5;
+  ZipfStream stream(zc);
+  auto events = stream.Take(30000);
+  for (const auto& e : events) dyadic.Add(e.key, e.ts);
+  Timestamp now = events.back().ts;
+
+  auto exact = ComputeExactRangeStats(events, now, 20000);
+  auto count_in = [&](uint64_t lo, uint64_t hi) {
+    uint64_t c = 0;
+    for (const auto& [k, v] : exact.freqs) {
+      if (k >= lo && k <= hi) c += v;
+    }
+    return static_cast<double>(c);
+  };
+  for (auto [lo, hi] : std::vector<std::pair<uint64_t, uint64_t>>{
+           {0, 10}, {1, 1}, {100, 900}, {0, 4095}, {2000, 2300}}) {
+    double est = dyadic.RangeQuery(lo, hi, 20000);
+    double truth = count_in(lo, hi);
+    // Dyadic sums accumulate per-range error: generous band.
+    EXPECT_NEAR(est, truth, 0.15 * exact.l1 + 3.0)
+        << "range [" << lo << "," << hi << "]";
+  }
+}
+
+TEST_F(DyadicEcmTest, HeavyHittersFindAllTrueHitters) {
+  auto dyadic = Build(0.02, 2);
+  // Planted hitters: keys 3, 700, 2049 get 15% each; the rest uniform.
+  Rng rng(6);
+  Timestamp t = 1;
+  std::vector<StreamEvent> events;
+  for (int i = 0; i < 30000; ++i) {
+    t += rng.Uniform(2);
+    uint64_t key;
+    double u = rng.NextDouble();
+    if (u < 0.15) {
+      key = 3;
+    } else if (u < 0.30) {
+      key = 700;
+    } else if (u < 0.45) {
+      key = 2049;
+    } else {
+      key = rng.Uniform(4096);
+    }
+    dyadic.Add(key, t);
+    events.push_back({t, key, 0});
+  }
+  auto hitters = dyadic.HeavyHitters(/*phi_ratio=*/0.1, /*range=*/kWindow);
+  std::set<uint64_t> found;
+  for (const auto& h : hitters) found.insert(h.key);
+  // Completeness (Theorem 5): every key above (phi+eps)||a|| is reported.
+  EXPECT_TRUE(found.count(3));
+  EXPECT_TRUE(found.count(700));
+  EXPECT_TRUE(found.count(2049));
+  // Soundness: nothing below phi*||a|| (w.h.p.); uniform keys have ~0.02%.
+  auto exact = ComputeExactRangeStats(events, t, kWindow);
+  for (uint64_t k : found) {
+    uint64_t truth = 0;
+    for (const auto& [key, c] : exact.freqs) {
+      if (key == k) truth = c;
+    }
+    EXPECT_GE(static_cast<double>(truth), 0.08 * exact.l1) << "key " << k;
+  }
+}
+
+TEST_F(DyadicEcmTest, HeavyHittersRespectWindow) {
+  auto dyadic = Build(0.02, 3);
+  // Key 11 is hot early, key 22 hot late; the window query must surface
+  // only the late one.
+  Timestamp t = 1;
+  for (int i = 0; i < 5000; ++i) dyadic.Add(11, t++);
+  for (int i = 0; i < 5000; ++i) dyadic.Add(22, t++);
+  auto hitters = dyadic.HeavyHittersAbsolute(/*threshold=*/2000,
+                                             /*range=*/4000);
+  std::set<uint64_t> found;
+  for (const auto& h : hitters) found.insert(h.key);
+  EXPECT_TRUE(found.count(22));
+  EXPECT_FALSE(found.count(11));
+}
+
+TEST_F(DyadicEcmTest, QuantilesOnUniformKeys) {
+  auto dyadic = Build(0.02, 4);
+  // Uniform keys over [0, 4096): the q-quantile should be ~q*4096.
+  Rng rng(9);
+  Timestamp t = 1;
+  for (int i = 0; i < 40000; ++i) {
+    t += 1;
+    dyadic.Add(rng.Uniform(4096), t);
+  }
+  for (double q : {0.25, 0.5, 0.9}) {
+    uint64_t est = dyadic.Quantile(q, kWindow);
+    EXPECT_NEAR(static_cast<double>(est), q * 4096.0, 4096.0 * 0.08)
+        << "quantile " << q;
+  }
+}
+
+TEST_F(DyadicEcmTest, QuantileOnPointMass) {
+  auto dyadic = Build(0.05, 5);
+  for (Timestamp t = 1; t <= 10000; ++t) dyadic.Add(1234, t);
+  EXPECT_EQ(dyadic.Quantile(0.5, kWindow), 1234u);
+}
+
+TEST_F(DyadicEcmTest, MemoryScalesWithDomainBits) {
+  auto small = DyadicEcm<ExponentialHistogram>::Create(
+      8, 0.1, 0.1, WindowMode::kTimeBased, 1000, 1);
+  auto large = DyadicEcm<ExponentialHistogram>::Create(
+      16, 0.1, 0.1, WindowMode::kTimeBased, 1000, 1);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_GT(large->MemoryBytes(), small->MemoryBytes());
+  EXPECT_LT(large->MemoryBytes(), small->MemoryBytes() * 3);
+}
+
+TEST(DyadicEcmCreateTest, RejectsBadDomainBits) {
+  auto d = DyadicEcm<ExponentialHistogram>::Create(
+      0, 0.1, 0.1, WindowMode::kTimeBased, 1000, 1);
+  EXPECT_FALSE(d.ok());
+  auto d2 = DyadicEcm<ExponentialHistogram>::Create(
+      64, 0.1, 0.1, WindowMode::kTimeBased, 1000, 1);
+  EXPECT_FALSE(d2.ok());
+}
+
+}  // namespace
+}  // namespace ecm

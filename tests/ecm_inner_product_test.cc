@@ -1,0 +1,183 @@
+// Tests for inner-product and self-join queries over sliding windows
+// (Theorem 2): error bounds across epsilons and ranges, the self-join
+// optimized ε-split, and compatibility enforcement.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_map>
+
+#include "src/core/ecm_sketch.h"
+#include "src/stream/generators.h"
+#include "src/util/random.h"
+
+namespace ecm {
+namespace {
+
+struct TwoStreams {
+  std::vector<StreamEvent> a, b;
+  Timestamp now = 0;
+};
+
+TwoStreams MakeStreams(double skew_a, double skew_b, int n, uint64_t seed) {
+  ZipfStream::Config ca;
+  ca.domain = 1000;
+  ca.skew = skew_a;
+  ca.seed = seed;
+  ZipfStream sa(ca);
+  ZipfStream::Config cb = ca;
+  cb.skew = skew_b;
+  cb.seed = seed + 1;
+  ZipfStream sb(cb);
+  TwoStreams out;
+  out.a = sa.Take(n);
+  out.b = sb.Take(n);
+  out.now = std::max(out.a.back().ts, out.b.back().ts);
+  return out;
+}
+
+double ExactInnerProduct(const std::vector<StreamEvent>& a,
+                         const std::vector<StreamEvent>& b, Timestamp now,
+                         uint64_t range) {
+  auto sa = ComputeExactRangeStats(a, now, range);
+  auto sb = ComputeExactRangeStats(b, now, range);
+  std::unordered_map<uint64_t, uint64_t> fb;
+  for (const auto& [k, c] : sb.freqs) fb[k] = c;
+  double ip = 0.0;
+  for (const auto& [k, c] : sa.freqs) {
+    auto it = fb.find(k);
+    if (it != fb.end()) {
+      ip += static_cast<double>(c) * static_cast<double>(it->second);
+    }
+  }
+  return ip;
+}
+
+TEST(InnerProductTest, RequiresCompatibleSketches) {
+  auto a = EcmEh::Create(0.1, 0.1, WindowMode::kTimeBased, 1000, 1);
+  auto b = EcmEh::Create(0.1, 0.1, WindowMode::kTimeBased, 1000, 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto r = a->InnerProduct(*b, 1000);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIncompatible);
+}
+
+TEST(InnerProductTest, DisjointStreamsNearZero) {
+  auto cfg = EcmConfig::Create(0.05, 0.05, WindowMode::kTimeBased, 100000, 3,
+                               OptimizeFor::kSelfJoinQueries);
+  ASSERT_TRUE(cfg.ok());
+  EcmEh a(*cfg), b(*cfg);
+  for (Timestamp t = 1; t <= 2000; ++t) {
+    a.Add(t % 100, t);           // keys 0..99
+    b.Add(1000 + t % 100, t);    // keys 1000..1099
+  }
+  auto est = a.InnerProductAt(b, 100000, 2000);
+  ASSERT_TRUE(est.ok());
+  // Theorem 2: error <= ~eps * ||a|| * ||b||.
+  EXPECT_LE(*est, 0.08 * 2000.0 * 2000.0);
+}
+
+struct IpSweep {
+  double epsilon;
+  double skew;
+  uint64_t range;
+};
+
+class InnerProductSweep : public ::testing::TestWithParam<IpSweep> {};
+
+TEST_P(InnerProductSweep, Theorem2Bound) {
+  const IpSweep p = GetParam();
+  auto cfg =
+      EcmConfig::Create(p.epsilon, 0.05, WindowMode::kTimeBased, 100000, 77,
+                        OptimizeFor::kSelfJoinQueries);
+  ASSERT_TRUE(cfg.ok());
+  EcmEh sa(*cfg), sb(*cfg);
+  TwoStreams streams = MakeStreams(p.skew, 1.0, 30000, p.range);
+  for (const auto& e : streams.a) sa.Add(e.key, e.ts);
+  for (const auto& e : streams.b) sb.Add(e.key, e.ts);
+
+  double truth = ExactInnerProduct(streams.a, streams.b, streams.now, p.range);
+  auto ea = ComputeExactRangeStats(streams.a, streams.now, p.range);
+  auto eb = ComputeExactRangeStats(streams.b, streams.now, p.range);
+  auto est = sa.InnerProductAt(sb, p.range, streams.now);
+  ASSERT_TRUE(est.ok());
+  double budget = p.epsilon * static_cast<double>(ea.l1) *
+                      static_cast<double>(eb.l1) +
+                  2.0;
+  EXPECT_LE(std::abs(*est - truth), budget)
+      << "truth=" << truth << " est=" << *est << " l1a=" << ea.l1
+      << " l1b=" << eb.l1;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InnerProductSweep,
+    ::testing::Values(IpSweep{0.05, 1.0, 10000}, IpSweep{0.1, 1.0, 10000},
+                      IpSweep{0.2, 1.0, 10000}, IpSweep{0.1, 0.6, 5000},
+                      IpSweep{0.1, 1.2, 30000}, IpSweep{0.15, 1.0, 100000}));
+
+class SelfJoinSweep : public ::testing::TestWithParam<IpSweep> {};
+
+TEST_P(SelfJoinSweep, Theorem2BoundOnF2) {
+  const IpSweep p = GetParam();
+  auto cfg =
+      EcmConfig::Create(p.epsilon, 0.05, WindowMode::kTimeBased, 100000, 41,
+                        OptimizeFor::kSelfJoinQueries);
+  ASSERT_TRUE(cfg.ok());
+  EcmEh sketch(*cfg);
+  ZipfStream::Config zc;
+  zc.domain = 800;
+  zc.skew = p.skew;
+  zc.seed = 17;
+  ZipfStream stream(zc);
+  auto events = stream.Take(30000);
+  for (const auto& e : events) sketch.Add(e.key, e.ts);
+  Timestamp now = events.back().ts;
+
+  auto exact = ComputeExactRangeStats(events, now, p.range);
+  double est = sketch.InnerProductAt(sketch, p.range, now).value();
+  double budget = p.epsilon * static_cast<double>(exact.l1) *
+                      static_cast<double>(exact.l1) +
+                  2.0;
+  EXPECT_LE(std::abs(est - exact.self_join), budget)
+      << "truth=" << exact.self_join << " est=" << est;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SelfJoinSweep,
+    ::testing::Values(IpSweep{0.05, 1.0, 10000}, IpSweep{0.1, 1.0, 10000},
+                      IpSweep{0.25, 1.0, 10000}, IpSweep{0.1, 0.5, 20000},
+                      IpSweep{0.1, 1.4, 100000}));
+
+TEST(SelfJoinTest, SkewRaisesF2) {
+  auto cfg = EcmConfig::Create(0.1, 0.05, WindowMode::kTimeBased, 100000, 5,
+                               OptimizeFor::kSelfJoinQueries);
+  ASSERT_TRUE(cfg.ok());
+  EcmEh uniform_sketch(*cfg), skewed_sketch(*cfg);
+  ZipfStream::Config zu;
+  zu.domain = 500;
+  zu.skew = 0.0;
+  zu.seed = 1;
+  ZipfStream us(zu);
+  ZipfStream::Config zs = zu;
+  zs.skew = 1.5;
+  zs.seed = 2;
+  ZipfStream ss(zs);
+  auto ue = us.Take(20000);
+  auto se = ss.Take(20000);
+  for (const auto& e : ue) uniform_sketch.Add(e.key, e.ts);
+  for (const auto& e : se) skewed_sketch.Add(e.key, e.ts);
+  // F2 is minimized by uniform distributions.
+  EXPECT_GT(skewed_sketch.SelfJoin(100000), uniform_sketch.SelfJoin(100000));
+}
+
+TEST(SelfJoinTest, InnerProductWithSelfEqualsSelfJoin) {
+  auto sketch = EcmEh::Create(0.1, 0.1, WindowMode::kTimeBased, 10000, 6);
+  ASSERT_TRUE(sketch.ok());
+  for (Timestamp t = 1; t <= 3000; ++t) sketch->Add(t % 37, t);
+  auto ip = sketch->InnerProduct(*sketch, 5000);
+  ASSERT_TRUE(ip.ok());
+  EXPECT_DOUBLE_EQ(*ip, sketch->SelfJoin(5000));
+}
+
+}  // namespace
+}  // namespace ecm

@@ -1,0 +1,291 @@
+// Tests for the geometric-method threshold monitor (§6.2): no missed
+// crossings vs a sync-always reference, communication savings vs naive
+// synchronization, and the sphere-test mechanics.
+
+#include "src/dist/geometric.h"
+
+#include <gtest/gtest.h>
+
+#include "src/stream/generators.h"
+
+namespace ecm {
+namespace {
+
+constexpr uint64_t kWindow = 50000;
+
+EcmConfig MonitorSketchConfig(uint64_t seed = 19) {
+  auto cfg = EcmConfig::Create(0.1, 0.1, WindowMode::kTimeBased, kWindow,
+                               seed, OptimizeFor::kSelfJoinQueries);
+  EXPECT_TRUE(cfg.ok());
+  return *cfg;
+}
+
+TEST(GeometricMonitorTest, InitialSyncEstablishesEstimate) {
+  GeometricSelfJoinMonitor::Config mc;
+  mc.threshold = 1e9;
+  GeometricSelfJoinMonitor monitor(4, MonitorSketchConfig(), mc);
+  monitor.Process(0, 1, 1);
+  EXPECT_EQ(monitor.stats().syncs, 1u);
+  EXPECT_FALSE(monitor.AboveThreshold());
+}
+
+TEST(GeometricMonitorTest, QuietStreamsRarelySync) {
+  // Uniform keys, huge threshold: spheres stay far from T, so after the
+  // initial sync virtually no communication happens.
+  GeometricSelfJoinMonitor::Config mc;
+  mc.threshold = 1e12;
+  mc.check_every = 16;
+  GeometricSelfJoinMonitor monitor(4, MonitorSketchConfig(), mc);
+  ZipfStream::Config zc;
+  zc.domain = 1000;
+  zc.skew = 0.0;  // uniform: low F2
+  zc.num_nodes = 4;
+  zc.seed = 3;
+  ZipfStream stream(zc);
+  for (const auto& e : stream.Take(20000)) {
+    monitor.Process(e.node, e.key, e.ts);
+  }
+  EXPECT_LE(monitor.stats().syncs, 3u);
+  EXPECT_GT(monitor.stats().local_checks, 100u);
+}
+
+TEST(GeometricMonitorTest, DetectsThresholdCrossing) {
+  // Start uniform (low F2), then concentrate all arrivals on one key: F2
+  // explodes and must be detected via local violations -> sync.
+  EcmConfig scfg = MonitorSketchConfig();
+  ZipfStream::Config zc;
+  zc.domain = 1000;
+  zc.skew = 0.0;
+  zc.num_nodes = 2;
+  zc.seed = 4;
+  ZipfStream stream(zc);
+  auto warmup = stream.Take(5000);
+
+  // Baseline global F2 after the warmup, from mirror sketches.
+  std::vector<EcmSketch<ExponentialHistogram>> mirror(
+      2, EcmSketch<ExponentialHistogram>(scfg));
+  for (const auto& e : warmup) mirror[e.node].Add(e.key, e.ts);
+  auto f2 = GlobalSelfJoin(mirror, kWindow, scfg.epsilon_sw, 1);
+  ASSERT_TRUE(f2.ok());
+
+  GeometricSelfJoinMonitor::Config mc;
+  mc.check_every = 8;
+  mc.threshold = 4.0 * *f2;
+  GeometricSelfJoinMonitor fresh(2, MonitorSketchConfig(), mc);
+  for (const auto& e : warmup) fresh.Process(e.node, e.key, e.ts);
+  ASSERT_FALSE(fresh.AboveThreshold());
+
+  // Hot phase: single-key flood from both sites.
+  Timestamp t = warmup.back().ts;
+  for (int i = 0; i < 20000; ++i) {
+    ++t;
+    fresh.Process(i % 2, /*key=*/77, t);
+    if (fresh.AboveThreshold()) break;
+  }
+  EXPECT_TRUE(fresh.AboveThreshold());
+  EXPECT_GE(fresh.stats().local_violations, 1u);
+  EXPECT_GE(fresh.stats().crossings_signaled, 1u);
+}
+
+TEST(GeometricMonitorTest, NoMissedCrossingsVsReference) {
+  // Feed a workload that crosses the threshold; at every sync-free
+  // checkpoint the reference (merged global F2) must agree with the
+  // monitor's side of the threshold, modulo sketch error near T.
+  GeometricSelfJoinMonitor::Config mc;
+  mc.check_every = 4;
+  EcmConfig scfg = MonitorSketchConfig();
+
+  // Calibrate the threshold from a probe run.
+  ZipfStream::Config zc;
+  zc.domain = 500;
+  zc.skew = 1.2;
+  zc.num_nodes = 3;
+  zc.seed = 8;
+  {
+    ZipfStream probe(zc);
+    std::vector<EcmSketch<ExponentialHistogram>> sites(
+        3, EcmSketch<ExponentialHistogram>(scfg));
+    for (const auto& e : probe.Take(30000)) sites[e.node].Add(e.key, e.ts);
+    auto f2 = GlobalSelfJoin(sites, kWindow, scfg.epsilon_sw, 1);
+    ASSERT_TRUE(f2.ok());
+    mc.threshold = *f2 * 0.5;  // will be crossed mid-run
+  }
+
+  GeometricSelfJoinMonitor monitor(3, scfg, mc);
+  std::vector<EcmSketch<ExponentialHistogram>> mirror(
+      3, EcmSketch<ExponentialHistogram>(scfg));
+  ZipfStream stream(zc);
+  int agreements = 0, checks = 0;
+  auto events = stream.Take(30000);
+  for (size_t i = 0; i < events.size(); ++i) {
+    const auto& e = events[i];
+    monitor.Process(e.node, e.key, e.ts);
+    mirror[e.node].Add(e.key, e.ts);
+    if (i % 5000 == 4999) {
+      auto ref = GlobalSelfJoin(mirror, kWindow, scfg.epsilon_sw, 2);
+      ASSERT_TRUE(ref.ok());
+      ++checks;
+      // Agreement required unless the reference sits within 30% of T
+      // (sketch-error gray zone around the threshold).
+      double margin = std::abs(*ref - mc.threshold) / mc.threshold;
+      if (margin < 0.3) {
+        ++agreements;  // gray zone: both answers acceptable
+      } else if ((*ref >= mc.threshold) ==
+                 (monitor.GlobalEstimate() >= mc.threshold)) {
+        ++agreements;
+      }
+    }
+  }
+  EXPECT_EQ(agreements, checks);
+  EXPECT_GE(monitor.stats().syncs, 1u);
+}
+
+TEST(GeometricMonitorTest, CommunicationFarBelowSyncAlways) {
+  GeometricSelfJoinMonitor::Config mc;
+  mc.threshold = 1e12;
+  mc.check_every = 8;
+  EcmConfig scfg = MonitorSketchConfig();
+  GeometricSelfJoinMonitor monitor(4, scfg, mc);
+  ZipfStream::Config zc;
+  zc.domain = 1000;
+  zc.skew = 0.5;
+  zc.num_nodes = 4;
+  zc.seed = 5;
+  ZipfStream stream(zc);
+  auto events = stream.Take(20000);
+  for (const auto& e : events) monitor.Process(e.node, e.key, e.ts);
+
+  // Sync-always would ship every site's sketch on every update.
+  uint64_t sync_always_msgs = events.size() * 4;
+  EXPECT_LT(monitor.stats().network.messages, sync_always_msgs / 100);
+}
+
+TEST(GeometricMonitorTest, StatsAreInternallyConsistent) {
+  GeometricSelfJoinMonitor::Config mc;
+  mc.threshold = 1e9;
+  mc.check_every = 10;
+  GeometricSelfJoinMonitor monitor(2, MonitorSketchConfig(), mc);
+  ZipfStream::Config zc;
+  zc.num_nodes = 2;
+  zc.seed = 21;
+  ZipfStream stream(zc);
+  for (const auto& e : stream.Take(5000)) monitor.Process(e.node, e.key, e.ts);
+  const MonitorStats& s = monitor.stats();
+  EXPECT_EQ(s.updates, 5000u);
+  EXPECT_GE(s.local_checks, s.local_violations);
+  EXPECT_GE(s.syncs, 1u);          // the initial one
+  EXPECT_LE(s.syncs, s.local_violations + 1);
+  EXPECT_GT(s.network.bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// GeometricPointMonitor: single-key count threshold (§1 trigger scenario).
+// ---------------------------------------------------------------------------
+
+TEST(GeometricPointMonitorTest, DetectsDistributedFlood) {
+  constexpr uint64_t kVictim = 0xBEEF;
+  GeometricPointMonitor::Config mc;
+  mc.key = kVictim;
+  mc.threshold = 3000;
+  mc.check_every = 4;
+  GeometricPointMonitor monitor(8, MonitorSketchConfig(23), mc);
+
+  // Background traffic: no single site sees the victim much.
+  ZipfStream::Config zc;
+  zc.domain = 10000;
+  zc.skew = 0.8;
+  zc.num_nodes = 8;
+  zc.seed = 31;
+  ZipfStream stream(zc);
+  Rng attack(5);
+  Timestamp t = 0;
+  bool crossed = false;
+  for (int i = 0; i < 40000; ++i) {
+    StreamEvent e = stream.Next();
+    t = e.ts;
+    monitor.Process(e.node, e.key, e.ts);
+    // Thin distributed trickle toward the victim after i=10000.
+    if (i > 10000) {
+      int site = static_cast<int>(attack.Uniform(8));
+      monitor.Process(site, kVictim, t);
+    }
+    if (monitor.AboveThreshold()) {
+      crossed = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(crossed);
+  // No site ever held more than a fraction of the threshold locally.
+  double max_local = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    max_local = std::max(
+        max_local, monitor.site_sketch(i).PointQueryAt(kVictim, kWindow, t));
+  }
+  EXPECT_LT(max_local, mc.threshold * 0.5);
+}
+
+TEST(GeometricPointMonitorTest, SyncsShipOnlyKeyVectors) {
+  GeometricPointMonitor::Config mc;
+  mc.key = 7;
+  mc.threshold = 1e9;  // never crossed
+  mc.check_every = 4;
+  EcmConfig scfg = MonitorSketchConfig(29);
+  GeometricPointMonitor monitor(4, scfg, mc);
+  ZipfStream::Config zc;
+  zc.num_nodes = 4;
+  zc.seed = 8;
+  ZipfStream stream(zc);
+  for (const auto& e : stream.Take(10000)) {
+    monitor.Process(e.node, e.key, e.ts);
+  }
+  const MonitorStats& s = monitor.stats();
+  // Each sync moves (up + down) 2 * n * d doubles: with the giant
+  // threshold only the initial sync should have happened.
+  uint64_t per_sync =
+      2ull * 4 * scfg.depth * sizeof(double);
+  EXPECT_EQ(s.network.bytes, s.syncs * per_sync);
+  EXPECT_LE(s.syncs, 2u);
+}
+
+TEST(GeometricPointMonitorTest, EstimateTracksTruth) {
+  GeometricPointMonitor::Config mc;
+  mc.key = 42;
+  mc.threshold = 500;
+  mc.check_every = 1;
+  GeometricPointMonitor monitor(2, MonitorSketchConfig(31), mc);
+  // Key 42 arrives exactly 800 times, split across sites; noise around it.
+  Timestamp t = 1;
+  Rng rng(3);
+  for (int i = 0; i < 800; ++i) {
+    monitor.Process(i % 2, 42, t);
+    monitor.Process((i + 1) % 2, rng.Uniform(5000), t);
+    ++t;
+  }
+  EXPECT_TRUE(monitor.AboveThreshold());
+  EXPECT_NEAR(monitor.GlobalEstimate(), 800.0, 800.0 * 0.2 + 5.0);
+}
+
+TEST(GeometricPointMonitorTest, QuietKeyNeverSyncs) {
+  GeometricPointMonitor::Config mc;
+  mc.key = 99999;  // never arrives
+  // The threshold must sit above the sketch's collision noise floor
+  // (~eps * ||a||_1 = 0.1 * 20000); anything below it is inherently
+  // unmonitorable with this epsilon — pick 5000.
+  mc.threshold = 5000;
+  mc.check_every = 4;
+  GeometricPointMonitor monitor(4, MonitorSketchConfig(37), mc);
+  ZipfStream::Config zc;
+  zc.domain = 1000;  // keys 1..1000, never 99999
+  zc.num_nodes = 4;
+  zc.seed = 12;
+  ZipfStream stream(zc);
+  for (const auto& e : stream.Take(20000)) {
+    monitor.Process(e.node, e.key, e.ts);
+  }
+  // Collisions can nudge the drift, but syncs must stay rare.
+  EXPECT_LE(monitor.stats().syncs, 5u);
+  EXPECT_FALSE(monitor.AboveThreshold());
+}
+
+}  // namespace
+}  // namespace ecm

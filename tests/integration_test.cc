@@ -1,0 +1,204 @@
+// End-to-end integration tests: the paper's network-monitoring scenario
+// (distributed DDoS detection over wc'98/snmp-like traces), serialization
+// across the aggregation path, and cross-module consistency between the
+// dyadic stack, plain sketches, and exact ground truth.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/core/dyadic.h"
+#include "src/core/ecm_sketch.h"
+#include "src/dist/aggregation_tree.h"
+#include "src/dist/serialize.h"
+#include "src/stream/snmp_like.h"
+#include "src/stream/wc98_like.h"
+
+namespace ecm {
+namespace {
+
+TEST(IntegrationTest, Wc98PipelineCentralizedVsDistributed) {
+  // One centralized sketch vs 33 per-server sketches aggregated up a
+  // tree: both must answer point queries consistently.
+  Wc98Config wc;
+  wc.num_events = 120000;
+  auto events = GenerateWc98Like(wc);
+  Timestamp now = events.back().ts;
+  constexpr uint64_t kWindow = 1 << 20;
+
+  auto cfg = EcmConfig::Create(0.1, 0.1, WindowMode::kTimeBased, kWindow, 1);
+  ASSERT_TRUE(cfg.ok());
+  EcmSketch<ExponentialHistogram> centralized(*cfg);
+  std::vector<EcmSketch<ExponentialHistogram>> sites(
+      33, EcmSketch<ExponentialHistogram>(*cfg));
+  for (const auto& e : events) {
+    centralized.Add(e.key, e.ts);
+    sites[e.node].Add(e.key, e.ts);
+  }
+  for (auto& s : sites) s.AdvanceTo(now);
+  auto out = AggregateTree(sites);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->height, 6);  // ceil(log2 33)
+
+  auto exact = ComputeExactRangeStats(events, now, kWindow);
+  // Hot pages: compare centralized, distributed, and truth.
+  int checked = 0;
+  for (const auto& [key, count] : exact.freqs) {
+    if (count < exact.l1 / 200) continue;
+    double c = centralized.PointQueryAt(key, kWindow, now);
+    double d = out->root.PointQueryAt(key, kWindow, now);
+    EXPECT_NEAR(c, static_cast<double>(count), 0.12 * exact.l1 + 2);
+    EXPECT_NEAR(d, static_cast<double>(count), 0.3 * exact.l1 + 2);
+    ++checked;
+  }
+  EXPECT_GT(checked, 3);
+}
+
+TEST(IntegrationTest, SnmpHeavyUserDetectionAcrossAps) {
+  // The paper's motivating trigger: find users whose sliding-window
+  // traffic exceeds a threshold, network-wide, from per-AP sketches.
+  SnmpConfig sc;
+  sc.num_events = 100000;
+  sc.skew = 1.2;
+  auto events = GenerateSnmpLike(sc);
+  Timestamp now = events.back().ts;
+  constexpr uint64_t kWindow = 1 << 20;
+
+  auto cfg = EcmConfig::Create(0.05, 0.05, WindowMode::kTimeBased, kWindow, 2);
+  ASSERT_TRUE(cfg.ok());
+  std::vector<EcmSketch<ExponentialHistogram>> aps(
+      535, EcmSketch<ExponentialHistogram>(*cfg));
+  for (const auto& e : events) aps[e.node].Add(e.key, e.ts);
+  for (auto& s : aps) s.AdvanceTo(now);
+  auto out = AggregateTree(aps);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->height, 10);  // ceil(log2 535)
+
+  auto exact = ComputeExactRangeStats(events, now, kWindow);
+  uint64_t threshold = exact.l1 / 50;
+  std::set<uint64_t> true_heavy;
+  for (const auto& [key, count] : exact.freqs) {
+    if (count >= threshold) true_heavy.insert(key);
+  }
+  ASSERT_FALSE(true_heavy.empty());
+  // Every truly heavy user must be flagged by the aggregated sketch with
+  // a slightly lowered bar (estimates carry +-eps*L1 slack).
+  for (uint64_t user : true_heavy) {
+    double est = out->root.PointQueryAt(user, kWindow, now);
+    EXPECT_GE(est, static_cast<double>(threshold) * 0.5) << "user " << user;
+  }
+}
+
+TEST(IntegrationTest, SerializedAggregationPath) {
+  // Site -> serialize -> wire -> deserialize -> merge at parent: the
+  // realistic deployment path must equal in-process aggregation.
+  constexpr uint64_t kWindow = 100000;
+  auto cfg = EcmConfig::Create(0.1, 0.1, WindowMode::kTimeBased, kWindow, 3);
+  ASSERT_TRUE(cfg.ok());
+  Wc98Config wc;
+  wc.num_events = 30000;
+  wc.num_servers = 4;
+  auto events = GenerateWc98Like(wc);
+  Timestamp now = events.back().ts;
+  std::vector<EcmSketch<ExponentialHistogram>> sites(
+      4, EcmSketch<ExponentialHistogram>(*cfg));
+  for (const auto& e : events) sites[e.node].Add(e.key, e.ts);
+  for (auto& s : sites) s.AdvanceTo(now);
+
+  // In-process merge.
+  auto direct = EcmEh::Merge({&sites[0], &sites[1], &sites[2], &sites[3]},
+                             cfg->epsilon_sw);
+  ASSERT_TRUE(direct.ok());
+
+  // Wire path.
+  std::vector<EcmSketch<ExponentialHistogram>> rehydrated;
+  for (const auto& s : sites) {
+    auto back = DeserializeSketch<ExponentialHistogram>(SerializeSketch(s));
+    ASSERT_TRUE(back.ok());
+    rehydrated.push_back(std::move(*back));
+  }
+  auto wire = EcmEh::Merge(
+      {&rehydrated[0], &rehydrated[1], &rehydrated[2], &rehydrated[3]},
+      cfg->epsilon_sw);
+  ASSERT_TRUE(wire.ok());
+
+  for (uint64_t key = 1; key < 200; key += 11) {
+    EXPECT_EQ(direct->PointQueryAt(key, kWindow, now),
+              wire->PointQueryAt(key, kWindow, now))
+        << "key " << key;
+  }
+}
+
+TEST(IntegrationTest, DyadicAndPlainSketchAgree) {
+  // The level-0 sketch of the dyadic stack must answer point queries like
+  // a standalone sketch with the same config.
+  constexpr uint64_t kWindow = 100000;
+  auto dy = DyadicEcm<ExponentialHistogram>::Create(
+      10, 0.05, 0.05, WindowMode::kTimeBased, kWindow, 4);
+  ASSERT_TRUE(dy.ok());
+  Wc98Config wc;
+  wc.num_events = 20000;
+  wc.domain = 1000;
+  auto events = GenerateWc98Like(wc);
+  Timestamp now = events.back().ts;
+  for (const auto& e : events) dy->Add(e.key, e.ts);
+
+  auto exact = ComputeExactRangeStats(events, now, kWindow);
+  for (const auto& [key, count] : exact.freqs) {
+    if (count < 200) continue;
+    double plain = dy->level(0).PointQueryAt(key, kWindow, now);
+    double range1 = dy->RangeQuery(key, key, kWindow);
+    EXPECT_EQ(plain, range1);
+  }
+}
+
+TEST(IntegrationTest, CountBasedCentralizedPipeline) {
+  // Count-based windows work end-to-end in a centralized deployment (the
+  // only deployment they support, per Fig. 2).
+  auto cfg =
+      EcmConfig::Create(0.05, 0.05, WindowMode::kCountBased, 5000, 5);
+  ASSERT_TRUE(cfg.ok());
+  EcmSketch<ExponentialHistogram> sketch(*cfg);
+  Wc98Config wc;
+  wc.num_events = 20000;
+  wc.domain = 100;
+  auto events = GenerateWc98Like(wc);
+  for (const auto& e : events) sketch.Add(e.key, e.ts);
+
+  // Ground truth over the last 5000 arrivals.
+  std::map<uint64_t, uint64_t> truth;
+  for (size_t i = events.size() - 5000; i < events.size(); ++i) {
+    ++truth[events[i].key];
+  }
+  int violations = 0, checks = 0;
+  for (const auto& [key, count] : truth) {
+    double est = sketch.PointQuery(key, 5000);
+    if (std::abs(est - static_cast<double>(count)) > 0.06 * 5000 + 2) {
+      ++violations;
+    }
+    ++checks;
+  }
+  EXPECT_LE(violations, checks / 8 + 1);
+}
+
+TEST(IntegrationTest, MemoryHierarchyEhVsRw) {
+  // End-to-end memory story on a realistic workload (paper Fig. 4): EH
+  // sketches are orders of magnitude smaller than RW at equal epsilon.
+  constexpr uint64_t kWindow = 1 << 20;
+  auto eh = EcmEh::Create(0.1, 0.1, WindowMode::kTimeBased, kWindow, 6);
+  auto rw = EcmRw::Create(0.1, 0.1, WindowMode::kTimeBased, kWindow, 6,
+                          OptimizeFor::kPointQueries, 1 << 17);
+  ASSERT_TRUE(eh.ok() && rw.ok());
+  Wc98Config wc;
+  wc.num_events = 50000;
+  auto events = GenerateWc98Like(wc);
+  for (const auto& e : events) {
+    eh->Add(e.key, e.ts);
+    rw->Add(e.key, e.ts);
+  }
+  EXPECT_GT(rw->MemoryBytes(), eh->MemoryBytes() * 10);
+}
+
+}  // namespace
+}  // namespace ecm

@@ -1,0 +1,126 @@
+// Tests for whole-sketch wire serialization: round-trip equivalence for
+// every counter type, corruption rejection, and wire-size sanity (the
+// numbers the distributed benches account as network transfer).
+
+#include "src/dist/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "src/stream/generators.h"
+
+namespace ecm {
+namespace {
+
+template <typename Counter>
+void FillSketch(EcmSketch<Counter>* sketch, int n, uint64_t seed) {
+  ZipfStream::Config zc;
+  zc.domain = 500;
+  zc.skew = 1.0;
+  zc.seed = seed;
+  ZipfStream stream(zc);
+  for (const auto& e : stream.Take(n)) sketch->Add(e.key, e.ts);
+}
+
+TEST(SerializeConfigTest, RoundTrip) {
+  auto cfg = EcmConfig::Create(0.07, 0.03, WindowMode::kCountBased, 12345,
+                               999, OptimizeFor::kSelfJoinQueries);
+  ASSERT_TRUE(cfg.ok());
+  ByteWriter w;
+  SerializeEcmConfig(*cfg, &w);
+  ByteReader r(w.bytes());
+  auto back = DeserializeEcmConfig(&r);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->mode, cfg->mode);
+  EXPECT_EQ(back->window_len, cfg->window_len);
+  EXPECT_EQ(back->width, cfg->width);
+  EXPECT_EQ(back->depth, cfg->depth);
+  EXPECT_EQ(back->seed, cfg->seed);
+  EXPECT_DOUBLE_EQ(back->epsilon_sw, cfg->epsilon_sw);
+  EXPECT_DOUBLE_EQ(back->epsilon_cm, cfg->epsilon_cm);
+  EXPECT_TRUE(back->CompatibleWith(*cfg));
+}
+
+TEST(SerializeConfigTest, RejectsGarbage) {
+  std::vector<uint8_t> junk = {0x01, 0x02, 0x03};
+  ByteReader r(junk.data(), junk.size());
+  EXPECT_FALSE(DeserializeEcmConfig(&r).ok());
+}
+
+template <typename Counter>
+void RunSketchRoundTrip() {
+  auto sketch = EcmSketch<Counter>::Create(
+      0.1, 0.1, WindowMode::kTimeBased, 50000, 42,
+      OptimizeFor::kPointQueries, /*max_arrivals=*/1 << 16);
+  ASSERT_TRUE(sketch.ok());
+  FillSketch<Counter>(&*sketch, 10000, 3);
+
+  auto bytes = SerializeSketch(*sketch);
+  auto back = DeserializeSketch<Counter>(bytes);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->l1_lifetime(), sketch->l1_lifetime());
+  EXPECT_EQ(back->Now(), sketch->Now());
+  for (uint64_t key = 0; key < 500; key += 13) {
+    for (uint64_t range : {1000u, 50000u}) {
+      EXPECT_EQ(back->PointQuery(key, range), sketch->PointQuery(key, range))
+          << "key " << key << " range " << range;
+    }
+  }
+}
+
+TEST(SerializeSketchTest, RoundTripEh) {
+  RunSketchRoundTrip<ExponentialHistogram>();
+}
+TEST(SerializeSketchTest, RoundTripDw) {
+  RunSketchRoundTrip<DeterministicWave>();
+}
+TEST(SerializeSketchTest, RoundTripRw) { RunSketchRoundTrip<RandomizedWave>(); }
+TEST(SerializeSketchTest, RoundTripExact) { RunSketchRoundTrip<ExactWindow>(); }
+
+TEST(SerializeSketchTest, DeserializedSketchIsMergeable) {
+  auto a = EcmEh::Create(0.1, 0.1, WindowMode::kTimeBased, 50000, 7);
+  ASSERT_TRUE(a.ok());
+  FillSketch<ExponentialHistogram>(&*a, 5000, 1);
+  auto bytes = SerializeSketch(*a);
+  auto b = DeserializeSketch<ExponentialHistogram>(bytes);
+  ASSERT_TRUE(b.ok());
+  auto merged = EcmEh::Merge({&*a, &*b}, a->config().epsilon_sw);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  // a ⊕ a doubles every estimate (within merge error).
+  double single = a->PointQuery(1, 50000);
+  double doubled = merged->PointQuery(1, 50000);
+  EXPECT_NEAR(doubled, 2 * single, 2 * single * 0.3 + 3.0);
+}
+
+TEST(SerializeSketchTest, TruncationRejected) {
+  auto sketch = EcmEh::Create(0.1, 0.1, WindowMode::kTimeBased, 50000, 9);
+  ASSERT_TRUE(sketch.ok());
+  FillSketch<ExponentialHistogram>(&*sketch, 2000, 2);
+  auto bytes = SerializeSketch(*sketch);
+  bytes.resize(bytes.size() / 3);
+  EXPECT_FALSE(DeserializeSketch<ExponentialHistogram>(bytes).ok());
+}
+
+TEST(SerializeSketchTest, WireSizeOrdersOfMagnitude) {
+  // The paper's headline resource result: at equal epsilon, the RW sketch
+  // is at least an order of magnitude bigger on the wire than EH.
+  constexpr double kEps = 0.1;
+  auto eh = EcmEh::Create(kEps, 0.1, WindowMode::kTimeBased, 100000, 5);
+  auto rw = EcmRw::Create(kEps, 0.1, WindowMode::kTimeBased, 100000, 5,
+                          OptimizeFor::kPointQueries, 1 << 16);
+  ASSERT_TRUE(eh.ok() && rw.ok());
+  FillSketch<ExponentialHistogram>(&*eh, 30000, 4);
+  FillSketch<RandomizedWave>(&*rw, 30000, 4);
+  size_t eh_bytes = SketchWireSize(*eh);
+  size_t rw_bytes = SketchWireSize(*rw);
+  EXPECT_GT(rw_bytes, eh_bytes * 10) << "EH=" << eh_bytes
+                                     << " RW=" << rw_bytes;
+}
+
+TEST(SerializeSketchTest, EmptySketchHasSmallWire) {
+  auto sketch = EcmEh::Create(0.1, 0.1, WindowMode::kTimeBased, 1000, 1);
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_LT(SketchWireSize(*sketch), 4096u);
+}
+
+}  // namespace
+}  // namespace ecm

@@ -1,0 +1,216 @@
+// Tests for the workload layer: Zipf sampling correctness, stream
+// generator determinism and shape (skew, timestamps, node sharding), and
+// the exact-statistics helpers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "src/stream/generators.h"
+#include "src/stream/snmp_like.h"
+#include "src/stream/wc98_like.h"
+#include "src/stream/zipf.h"
+
+namespace ecm {
+namespace {
+
+TEST(ZipfTest, SamplesInDomain) {
+  ZipfDistribution zipf(1000, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t k = zipf.Sample(rng);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 1000u);
+  }
+}
+
+TEST(ZipfTest, DomainOfOne) {
+  ZipfDistribution zipf(1, 1.2);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 1u);
+}
+
+TEST(ZipfTest, SkewZeroIsUniform) {
+  ZipfDistribution zipf(10, 0.0);
+  Rng rng(3);
+  std::map<uint64_t, int> counts;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[zipf.Sample(rng)];
+  for (const auto& [k, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kN, 0.1, 0.02) << "key " << k;
+  }
+}
+
+TEST(ZipfTest, FrequenciesFollowPowerLaw) {
+  constexpr double kSkew = 1.0;
+  ZipfDistribution zipf(10000, kSkew);
+  Rng rng(4);
+  std::map<uint64_t, int> counts;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) ++counts[zipf.Sample(rng)];
+  // P[k] / P[2k] should be ~2^skew for small k.
+  double p1 = counts[1], p2 = counts[2], p4 = counts[4];
+  EXPECT_NEAR(p1 / p2, 2.0, 0.3);
+  EXPECT_NEAR(p2 / p4, 2.0, 0.3);
+  // Head concentration: key 1 gets ~1/H_n of the mass.
+  EXPECT_GT(p1 / kN, 0.05);
+}
+
+TEST(ZipfTest, SkewOneVsSkewTwoConcentration) {
+  Rng rng(5);
+  ZipfDistribution mild(1000, 0.8), strong(1000, 1.6);
+  int mild_head = 0, strong_head = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (mild.Sample(rng) <= 10) ++mild_head;
+    if (strong.Sample(rng) <= 10) ++strong_head;
+  }
+  EXPECT_GT(strong_head, mild_head);
+}
+
+TEST(ZipfStreamTest, DeterministicPerSeed) {
+  ZipfStream::Config cfg;
+  cfg.seed = 9;
+  ZipfStream a(cfg), b(cfg);
+  for (int i = 0; i < 1000; ++i) {
+    StreamEvent ea = a.Next(), eb = b.Next();
+    EXPECT_EQ(ea.ts, eb.ts);
+    EXPECT_EQ(ea.key, eb.key);
+    EXPECT_EQ(ea.node, eb.node);
+  }
+}
+
+TEST(ZipfStreamTest, TimestampsNonDecreasingAndPositive) {
+  ZipfStream::Config cfg;
+  cfg.events_per_tick = 5.0;
+  cfg.diurnal_amplitude = 0.7;
+  ZipfStream s(cfg);
+  Timestamp prev = 0;
+  for (int i = 0; i < 10000; ++i) {
+    StreamEvent e = s.Next();
+    EXPECT_GE(e.ts, prev);
+    EXPECT_GE(e.ts, 1u);
+    prev = e.ts;
+  }
+}
+
+TEST(ZipfStreamTest, RateMatchesConfig) {
+  ZipfStream::Config cfg;
+  cfg.events_per_tick = 2.0;
+  cfg.seed = 11;
+  ZipfStream s(cfg);
+  auto events = s.Take(20000);
+  double rate = 20000.0 / static_cast<double>(events.back().ts);
+  EXPECT_NEAR(rate, 2.0, 0.3);
+}
+
+TEST(RoundRobinStreamTest, CyclesKeysAndNodes) {
+  RoundRobinStream s(3, 2);
+  auto events = s.Take(6);
+  EXPECT_EQ(events[0].key, 1u);
+  EXPECT_EQ(events[1].key, 2u);
+  EXPECT_EQ(events[2].key, 3u);
+  EXPECT_EQ(events[3].key, 1u);
+  EXPECT_EQ(events[0].node, 0u);
+  EXPECT_EQ(events[1].node, 1u);
+  EXPECT_EQ(events[2].node, 0u);
+}
+
+TEST(Wc98Test, ShardsAcross33Servers) {
+  Wc98Config cfg;
+  cfg.num_events = 50000;
+  auto events = GenerateWc98Like(cfg);
+  ASSERT_EQ(events.size(), 50000u);
+  std::map<uint32_t, int> per_node;
+  for (const auto& e : events) ++per_node[e.node];
+  EXPECT_EQ(per_node.size(), 33u);
+  // Load-balanced mirrors: roughly equal shares.
+  for (const auto& [node, c] : per_node) {
+    EXPECT_GT(c, 50000 / 33 / 2) << "node " << node;
+  }
+}
+
+TEST(Wc98Test, KeyPopularityIsSkewed) {
+  Wc98Config cfg;
+  cfg.num_events = 100000;
+  auto events = GenerateWc98Like(cfg);
+  std::map<uint64_t, int> freq;
+  for (const auto& e : events) ++freq[e.key];
+  std::vector<int> counts;
+  for (const auto& [k, c] : freq) counts.push_back(c);
+  std::sort(counts.rbegin(), counts.rend());
+  // Top-10 pages carry far more than 10x the median page.
+  int top10 = std::accumulate(counts.begin(), counts.begin() + 10, 0);
+  EXPECT_GT(top10, 100000 / 100);
+  EXPECT_GT(counts[0], counts[counts.size() / 2] * 20);
+}
+
+TEST(SnmpTest, ShardsAcross535ApsWithLocality) {
+  SnmpConfig cfg;
+  cfg.num_events = 100000;
+  auto events = GenerateSnmpLike(cfg);
+  std::map<uint32_t, int> per_node;
+  for (const auto& e : events) ++per_node[e.node];
+  // Heterogeneous AP load: the busiest AP sees far more than the median.
+  std::vector<int> loads;
+  for (const auto& [n, c] : per_node) loads.push_back(c);
+  std::sort(loads.rbegin(), loads.rend());
+  EXPECT_GT(loads[0], loads[loads.size() / 2] * 3);
+  for (const auto& [node, c] : per_node) EXPECT_LT(node, 535u);
+}
+
+TEST(SnmpTest, ClientsConcentrateAtHomeAp) {
+  SnmpConfig cfg;
+  cfg.num_events = 100000;
+  cfg.roaming_prob = 0.1;
+  auto events = GenerateSnmpLike(cfg);
+  // For a few hot clients, the modal AP should dominate their records.
+  std::map<uint64_t, std::map<uint32_t, int>> client_aps;
+  std::map<uint64_t, int> client_total;
+  for (const auto& e : events) {
+    ++client_aps[e.key][e.node];
+    ++client_total[e.key];
+  }
+  int checked = 0;
+  for (const auto& [client, total] : client_total) {
+    if (total < 500) continue;
+    int modal = 0;
+    for (const auto& [ap, c] : client_aps[client]) modal = std::max(modal, c);
+    EXPECT_GT(static_cast<double>(modal) / total, 0.6)
+        << "client " << client;
+    if (++checked >= 5) break;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(PartitionByNodeTest, PreservesAllEvents) {
+  Wc98Config cfg;
+  cfg.num_events = 10000;
+  auto events = GenerateWc98Like(cfg);
+  auto parts = PartitionByNode(events, 33);
+  size_t total = 0;
+  for (const auto& p : parts) {
+    total += p.size();
+    Timestamp prev = 0;
+    for (const auto& e : p) {
+      EXPECT_GE(e.ts, prev);  // per-node order preserved
+      prev = e.ts;
+    }
+  }
+  EXPECT_EQ(total, events.size());
+}
+
+TEST(ExactStatsTest, MatchesBruteForce) {
+  std::vector<StreamEvent> events = {
+      {1, 5, 0}, {2, 5, 0}, {3, 7, 0}, {10, 5, 0}, {11, 9, 0}};
+  auto stats = ComputeExactRangeStats(events, /*now=*/11, /*range=*/9);
+  // Range (2, 11]: events at ts 3,10,11 -> keys 7,5,9.
+  EXPECT_EQ(stats.l1, 3u);
+  EXPECT_EQ(stats.self_join, 3.0);  // all frequency 1
+  EXPECT_EQ(ExactFrequency(events, 5, 11, 9), 1u);
+  EXPECT_EQ(ExactFrequency(events, 5, 11, 11), 3u);
+}
+
+}  // namespace
+}  // namespace ecm

@@ -1,0 +1,46 @@
+// Tests for the window-boundary vocabulary shared by all synopses: the
+// (now - N, now] convention, saturation at the epoch, and mode naming.
+
+#include "src/window/window_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace ecm {
+namespace {
+
+TEST(WindowSpecTest, InWindowBoundaries) {
+  // Window of length 10 ending at 100 covers (90, 100].
+  EXPECT_TRUE(InWindow(100, 100, 10));
+  EXPECT_TRUE(InWindow(91, 100, 10));
+  EXPECT_FALSE(InWindow(90, 100, 10));   // boundary itself is out
+  EXPECT_FALSE(InWindow(101, 100, 10));  // the future is out
+}
+
+TEST(WindowSpecTest, WindowStartSaturates) {
+  EXPECT_EQ(WindowStart(100, 10), 90u);
+  EXPECT_EQ(WindowStart(5, 10), 0u);
+  EXPECT_EQ(WindowStart(10, 10), 0u);
+  EXPECT_EQ(WindowStart(0, 10), 0u);
+}
+
+TEST(WindowSpecTest, InWindowNearEpoch) {
+  // When the window reaches back past t=0, everything from t=1 counts.
+  EXPECT_TRUE(InWindow(1, 5, 10));
+  EXPECT_TRUE(InWindow(5, 5, 10));
+  EXPECT_FALSE(InWindow(6, 5, 10));
+}
+
+TEST(WindowSpecTest, HugeLengthsDoNotOverflow) {
+  Timestamp now = ~0ULL - 5;
+  EXPECT_TRUE(InWindow(now, now, ~0ULL));
+  EXPECT_TRUE(InWindow(1, now, ~0ULL));
+  EXPECT_EQ(WindowStart(now, ~0ULL), 0u);
+}
+
+TEST(WindowSpecTest, ModeNames) {
+  EXPECT_STREQ(WindowModeToString(WindowMode::kTimeBased), "time-based");
+  EXPECT_STREQ(WindowModeToString(WindowMode::kCountBased), "count-based");
+}
+
+}  // namespace
+}  // namespace ecm
