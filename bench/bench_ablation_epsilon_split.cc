@@ -91,7 +91,8 @@ void Run() {
 }  // namespace
 }  // namespace ecm::bench
 
-int main() {
+int main(int argc, char** argv) {
+  ecm::bench::ParseBenchArgs(argc, argv);
   ecm::bench::Run();
   return 0;
 }

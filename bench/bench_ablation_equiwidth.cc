@@ -136,14 +136,14 @@ void CounterLevelShowdown() {
 void Run() {
   {
     Wc98Config wc;
-    wc.num_events = 300'000;
+    wc.num_events = ScaledEvents(300'000);
     auto events = GenerateWc98Like(wc);
     Compare(
         "smooth Poisson arrivals (equi-width's best case), eps=0.1",
         events);
   }
   Compare("pulsed arrivals (bursts + silence), eps=0.1",
-          PulsedEvents(300'000, 9));
+          PulsedEvents(ScaledEvents(300'000), 9));
   CounterLevelShowdown();
   std::printf(
       "\nexpected shape: near-parity on smooth traffic; on pulsed "
@@ -156,7 +156,8 @@ void Run() {
 }  // namespace
 }  // namespace ecm::bench
 
-int main() {
+int main(int argc, char** argv) {
+  ecm::bench::ParseBenchArgs(argc, argv);
   ecm::bench::Run();
   return 0;
 }

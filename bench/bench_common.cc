@@ -3,7 +3,35 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include <algorithm>
+#include <cstring>
+
 namespace ecm::bench {
+namespace {
+
+// Smoke-mode event cap: small enough that every bench finishes in seconds,
+// large enough that windows/sketches see nontrivial occupancy.
+constexpr uint64_t kSmokeMaxEvents = 8'000;
+
+bool g_smoke_mode = false;
+
+}  // namespace
+
+void ParseBenchArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) g_smoke_mode = true;
+  }
+}
+
+bool SmokeMode() { return g_smoke_mode; }
+
+uint64_t ScaledEvents(uint64_t full) {
+  return g_smoke_mode ? std::min(full, kSmokeMaxEvents) : full;
+}
+
+uint32_t ScaledSites(uint32_t full) {
+  return g_smoke_mode ? std::min(full, 8u) : full;
+}
 
 const char* DatasetName(Dataset d) {
   return d == Dataset::kWc98 ? "wc98-like" : "snmp-like";
@@ -11,6 +39,7 @@ const char* DatasetName(Dataset d) {
 
 std::vector<StreamEvent> LoadDataset(Dataset d, uint64_t num_events,
                                      uint64_t seed) {
+  num_events = ScaledEvents(num_events);
   if (d == Dataset::kWc98) {
     Wc98Config cfg;
     cfg.num_events = num_events;

@@ -17,6 +17,25 @@
 
 namespace ecm::bench {
 
+/// Parses shared bench flags. `--smoke` switches every bench into a
+/// fast-path mode: LoadDataset clamps the event count hard so each binary
+/// finishes in seconds — CI runs every bench this way on each PR to catch
+/// benchmark bit-rot without paying full experiment runtimes.
+void ParseBenchArgs(int argc, char** argv);
+
+/// True iff --smoke was passed to ParseBenchArgs.
+bool SmokeMode();
+
+/// `full` outside smoke mode, a tiny clamped count inside it. LoadDataset
+/// applies this automatically; benches that synthesize streams directly
+/// should route their event counts through it.
+uint64_t ScaledEvents(uint64_t full);
+
+/// Site/node-count scaling for the distributed benches: `full` outside
+/// smoke mode, capped at a handful inside it (constructing hundreds of
+/// per-site sketches dominates smoke runtime otherwise).
+uint32_t ScaledSites(uint32_t full);
+
 /// Which synthesized trace a bench row uses.
 enum class Dataset { kWc98, kSnmp };
 
@@ -72,13 +91,15 @@ double MeasureSelfJoinError(const EcmSketch<Counter>& sketch,
 
 /// Feeds a full event vector into a sketch.
 template <SlidingWindowCounter Counter>
-void FeedAll(EcmSketch<Counter>* sketch, const std::vector<StreamEvent>& events) {
+void FeedAll(EcmSketch<Counter>* sketch,
+             const std::vector<StreamEvent>& events) {
   for (const StreamEvent& e : events) sketch->Add(e.key, e.ts);
 }
 
 /// Prints a header line (once) and aligned row values, CSV-ish for easy
 /// re-plotting.
-void PrintHeader(const std::string& title, const std::vector<std::string>& cols);
+void PrintHeader(const std::string& title,
+                 const std::vector<std::string>& cols);
 void PrintRow(const std::vector<std::string>& cells);
 std::string FormatDouble(double v, int precision = 5);
 std::string FormatBytes(double bytes);

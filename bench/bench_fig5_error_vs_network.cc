@@ -78,14 +78,15 @@ void Run() {
   };
   for (Spec spec : {Spec{Dataset::kWc98, 33}, Spec{Dataset::kSnmp, 535}}) {
     auto events = LoadDataset(spec.dataset, kEvents);
+    const uint32_t sites = ScaledSites(spec.sites);
     PrintHeader(std::string("Fig 5 distributed (") +
                     DatasetName(spec.dataset) + ", " +
-                    std::to_string(spec.sites) +
+                    std::to_string(sites) +
                     " sites): error vs transfer volume",
                 {"variant", "epsilon", "transfer_bytes", "avg_point_error",
                  "avg_selfjoin_error"});
     for (double eps : kEpsilons) {
-      auto eh = RunDistributed<ExponentialHistogram>(events, spec.sites, eps);
+      auto eh = RunDistributed<ExponentialHistogram>(events, sites, eps);
       if (eh.ok) {
         PrintRow({"ECM-EH", FormatDouble(eps, 2), std::to_string(eh.bytes),
                   FormatDouble(eh.avg_point), FormatDouble(eh.avg_selfjoin)});
@@ -93,7 +94,7 @@ void Run() {
       // RW at eps < 0.1 exhausts memory (same limit the paper reports);
       // self-join guarantees do not exist for RW (reported for reference).
       if (eps >= 0.1) {
-        auto rw = RunDistributed<RandomizedWave>(events, spec.sites, eps);
+        auto rw = RunDistributed<RandomizedWave>(events, sites, eps);
         if (rw.ok) {
           PrintRow({"ECM-RW", FormatDouble(eps, 2), std::to_string(rw.bytes),
                     FormatDouble(rw.avg_point), "n/a"});
@@ -110,7 +111,8 @@ void Run() {
 }  // namespace
 }  // namespace ecm::bench
 
-int main() {
+int main(int argc, char** argv) {
+  ecm::bench::ParseBenchArgs(argc, argv);
   ecm::bench::Run();
   return 0;
 }

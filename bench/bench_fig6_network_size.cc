@@ -80,6 +80,7 @@ void Run() {
                 {"nodes", "EH_point_err", "EH_selfjoin_err", "EH_bytes",
                  "RW_point_err", "RW_bytes"});
     for (uint32_t nodes : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+      if (nodes != ScaledSites(nodes)) continue;  // smoke: skip big fleets
       auto eh = RunAtSize<ExponentialHistogram>(events, nodes);
       auto rw = RunAtSize<RandomizedWave>(events, nodes);
       PrintRow({std::to_string(nodes), FormatDouble(eh.avg_point),
@@ -96,7 +97,8 @@ void Run() {
 }  // namespace
 }  // namespace ecm::bench
 
-int main() {
+int main(int argc, char** argv) {
+  ecm::bench::ParseBenchArgs(argc, argv);
   ecm::bench::Run();
   return 0;
 }

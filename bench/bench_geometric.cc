@@ -13,6 +13,7 @@
 
 #include "bench/bench_common.h"
 #include "src/dist/geometric.h"
+#include "src/dist/serialize.h"
 
 namespace ecm::bench {
 namespace {
@@ -50,7 +51,9 @@ void Run() {
     uint64_t sampled = 0;
     for (size_t i = 0; i < events.size(); ++i) {
       sites[events[i].node].Add(events[i].key, events[i].ts);
-      if (i % probe_every == 0) sampled += SketchWireSize(sites[events[i].node]);
+      if (i % probe_every == 0) {
+        sampled += SketchWireSize(sites[events[i].node]);
+      }
     }
     sync_always_bytes = sampled * (events.size() / 64);
   }
@@ -116,7 +119,8 @@ void Run() {
 }  // namespace
 }  // namespace ecm::bench
 
-int main() {
+int main(int argc, char** argv) {
+  ecm::bench::ParseBenchArgs(argc, argv);
   ecm::bench::Run();
   return 0;
 }

@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "src/core/count_min.h"
 #include "src/core/ecm_sketch.h"
 #include "src/core/equiwidth_cm.h"
@@ -145,4 +148,28 @@ BENCHMARK(BM_CountMinAdd);
 }  // namespace
 }  // namespace ecm
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): Google Benchmark rejects
+// unknown flags, so --smoke is stripped here and mapped onto a tiny
+// per-benchmark minimum time (the CI smoke gate runs every bench binary
+// with the same flag).
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  char min_time_flag[] = "--benchmark_min_time=0.01";
+  if (smoke) args.push_back(min_time_flag);
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

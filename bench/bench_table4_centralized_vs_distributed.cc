@@ -85,9 +85,10 @@ void Run() {
   for (double eps : {0.1, 0.2}) {
     for (Spec spec : {Spec{Dataset::kWc98, 33}, Spec{Dataset::kSnmp, 535}}) {
       auto events = LoadDataset(spec.dataset, kEvents);
-      auto ehp = Measure<ExponentialHistogram>(events, spec.sites, eps, false);
-      auto ehs = Measure<ExponentialHistogram>(events, spec.sites, eps, true);
-      auto rwp = Measure<RandomizedWave>(events, spec.sites, eps, false);
+      const uint32_t sites = ScaledSites(spec.sites);
+      auto ehp = Measure<ExponentialHistogram>(events, sites, eps, false);
+      auto ehs = Measure<ExponentialHistogram>(events, sites, eps, true);
+      auto rwp = Measure<RandomizedWave>(events, sites, eps, false);
       PrintRow({FormatDouble(eps, 1), DatasetName(spec.dataset),
                 FormatDouble(ehp.centralized), FormatDouble(ehp.distributed),
                 FormatDouble(ehp.Ratio(), 3), FormatDouble(ehs.centralized),
@@ -105,7 +106,8 @@ void Run() {
 }  // namespace
 }  // namespace ecm::bench
 
-int main() {
+int main(int argc, char** argv) {
+  ecm::bench::ParseBenchArgs(argc, argv);
   ecm::bench::Run();
   return 0;
 }

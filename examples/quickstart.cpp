@@ -79,8 +79,9 @@ int main() {
                  merged.status().ToString().c_str());
     return 1;
   }
-  std::printf("merged: key 1 over full window ~ %.0f (site1 %.0f + site2 %.0f)\n",
-              merged->PointQuery(1, 60'000), sketch.PointQuery(1, 60'000),
-              site2.PointQuery(1, 60'000));
+  std::printf(
+      "merged: key 1 over full window ~ %.0f (site1 %.0f + site2 %.0f)\n",
+      merged->PointQuery(1, 60'000), sketch.PointQuery(1, 60'000),
+      site2.PointQuery(1, 60'000));
   return 0;
 }

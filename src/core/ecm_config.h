@@ -56,12 +56,11 @@ struct EcmConfig {
 
   /// Computes the optimal split and array dimensions for a total (ε, δ)
   /// budget. Fails on out-of-domain parameters.
-  static Result<EcmConfig> Create(double epsilon, double delta,
-                                  WindowMode mode, uint64_t window_len,
-                                  uint64_t seed,
-                                  OptimizeFor optimize = OptimizeFor::kPointQueries,
-                                  CounterFamily family = CounterFamily::kDeterministic,
-                                  uint64_t max_arrivals = 1 << 20);
+  static Result<EcmConfig> Create(
+      double epsilon, double delta, WindowMode mode, uint64_t window_len,
+      uint64_t seed, OptimizeFor optimize = OptimizeFor::kPointQueries,
+      CounterFamily family = CounterFamily::kDeterministic,
+      uint64_t max_arrivals = 1 << 20);
 
   /// True iff sketches built from the two configs can be merged / compared:
   /// identical dimensions, hash seed, window and mode.

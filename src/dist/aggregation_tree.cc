@@ -1,0 +1,29 @@
+#include "src/dist/aggregation_tree.h"
+
+#include <cmath>
+
+namespace ecm {
+
+int TreeHeight(size_t num_leaves) {
+  int h = 0;
+  size_t capacity = 1;
+  while (capacity < num_leaves) {
+    capacity *= 2;
+    ++h;
+  }
+  return h;
+}
+
+double MultiLevelErrorBound(double epsilon, int height) {
+  return static_cast<double>(height) * epsilon * (1.0 + epsilon) + epsilon;
+}
+
+double LeafEpsilonForTarget(double target, int height) {
+  if (height <= 0) return target;
+  // Solve h·ε(1+ε) + ε = target for ε: hε² + (h+1)ε − target = 0.
+  const double h = static_cast<double>(height);
+  const double b = h + 1.0;
+  return (std::sqrt(b * b + 4.0 * h * target) - b) / (2.0 * h);
+}
+
+}  // namespace ecm

@@ -1,0 +1,148 @@
+// Geometric-method threshold monitoring over distributed ECM-sketches
+// (§6.2, after Sharfman et al.): sites monitor a nonlinear function f of
+// the *average* statistics vector without continuous synchronization. At
+// each sync the coordinator collects every site's statistics vector and
+// broadcasts the global average e; between syncs each site i bounds the
+// global average inside the ball centered at e + δ_i/2 with radius
+// ‖δ_i‖/2 (δ_i = its local drift since the sync). While every site's ball
+// stays strictly on one side of the surface f = T, the global value is
+// certified on that side; a ball touching the surface is a local
+// violation and forces a sync.
+//
+// Two monitors are provided:
+//  * GeometricSelfJoinMonitor — f is the sliding-window self-join size F₂
+//    (statistics vector = the site's full w×d counter-estimate grid);
+//  * GeometricPointMonitor — f is one key's windowed count (statistics
+//    vector = the d per-row estimates of that key), the paper's §1
+//    distributed-trigger scenario.
+
+#ifndef ECM_DIST_GEOMETRIC_H_
+#define ECM_DIST_GEOMETRIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/ecm_sketch.h"
+#include "src/dist/network_stats.h"
+#include "src/util/result.h"
+
+namespace ecm {
+
+/// Counters every geometric monitor maintains.
+struct MonitorStats {
+  uint64_t updates = 0;             ///< arrivals processed
+  uint64_t local_checks = 0;        ///< sphere tests performed
+  uint64_t local_violations = 0;    ///< tests whose ball touched f = T
+  uint64_t syncs = 0;               ///< global synchronizations (incl. initial)
+  uint64_t crossings_signaled = 0;  ///< below->above transitions detected
+  NetworkStats network;
+};
+
+/// Estimated global self-join size of `sites`' union stream over the
+/// trailing `range`: merges the sketches order-preservingly (ε' =
+/// `eps_prime_sw`) and evaluates F₂ on the result.
+template <SlidingWindowCounter Counter>
+Result<double> GlobalSelfJoin(const std::vector<EcmSketch<Counter>>& sites,
+                              uint64_t range, double eps_prime_sw,
+                              uint64_t seed = 0) {
+  std::vector<const EcmSketch<Counter>*> ptrs;
+  ptrs.reserve(sites.size());
+  for (const auto& s : sites) ptrs.push_back(&s);
+  auto merged = EcmSketch<Counter>::Merge(ptrs, eps_prime_sw, seed);
+  if (!merged.ok()) return merged.status();
+  return merged->SelfJoin(range);
+}
+
+/// Threshold monitor for the global sliding-window self-join size F₂.
+class GeometricSelfJoinMonitor {
+ public:
+  struct Config {
+    double threshold = 0.0;    ///< alarm when global F₂ >= threshold
+    uint64_t check_every = 1;  ///< sphere-test cadence, in per-site updates
+  };
+
+  GeometricSelfJoinMonitor(int num_sites, const EcmConfig& sketch_config,
+                           const Config& config);
+
+  /// Routes one arrival to `site` and runs the local sphere test on its
+  /// cadence. Returns true iff this arrival caused a global sync.
+  bool Process(int site, uint64_t key, Timestamp ts, uint64_t count = 1);
+
+  /// Side of the threshold established by the most recent sync.
+  bool AboveThreshold() const { return above_; }
+
+  /// Global F₂ estimate at the most recent sync.
+  double GlobalEstimate() const { return estimate_; }
+
+  const MonitorStats& stats() const { return stats_; }
+
+  const EcmSketch<ExponentialHistogram>& site_sketch(int site) const {
+    return sites_[static_cast<size_t>(site)];
+  }
+
+ private:
+  std::vector<double> SiteVector(int site) const;
+  bool SphereViolation(const std::vector<double>& current,
+                       const std::vector<double>& at_sync) const;
+  void Sync();
+
+  EcmConfig sketch_config_;
+  Config config_;
+  std::vector<EcmSketch<ExponentialHistogram>> sites_;
+  std::vector<std::vector<double>> v_sync_;  ///< per-site vector at last sync
+  std::vector<double> e_avg_;                ///< global average at last sync
+  std::vector<uint64_t> site_updates_;
+  double estimate_ = 0.0;
+  bool above_ = false;
+  bool synced_once_ = false;
+  MonitorStats stats_;
+};
+
+/// Threshold monitor for one key's global sliding-window count — the
+/// distributed-trigger ("DDoS victim") scenario. Syncs ship only the d
+/// per-row estimates of the watched key, so they cost 2·n·d doubles each.
+class GeometricPointMonitor {
+ public:
+  struct Config {
+    uint64_t key = 0;          ///< the watched key
+    double threshold = 0.0;    ///< alarm when its global count >= threshold
+    uint64_t check_every = 1;  ///< sphere-test cadence, in per-site updates
+  };
+
+  GeometricPointMonitor(int num_sites, const EcmConfig& sketch_config,
+                        const Config& config);
+
+  bool Process(int site, uint64_t key, Timestamp ts, uint64_t count = 1);
+
+  bool AboveThreshold() const { return above_; }
+
+  /// Global windowed-count estimate of the watched key at the last sync.
+  double GlobalEstimate() const { return estimate_; }
+
+  const MonitorStats& stats() const { return stats_; }
+
+  const EcmSketch<ExponentialHistogram>& site_sketch(int site) const {
+    return sites_[static_cast<size_t>(site)];
+  }
+
+ private:
+  std::vector<double> SiteVector(int site) const;
+  bool SphereViolation(const std::vector<double>& current,
+                       const std::vector<double>& at_sync) const;
+  void Sync();
+
+  EcmConfig sketch_config_;
+  Config config_;
+  std::vector<EcmSketch<ExponentialHistogram>> sites_;
+  std::vector<std::vector<double>> v_sync_;
+  std::vector<double> e_avg_;
+  std::vector<uint64_t> site_updates_;
+  double estimate_ = 0.0;
+  bool above_ = false;
+  bool synced_once_ = false;
+  MonitorStats stats_;
+};
+
+}  // namespace ecm
+
+#endif  // ECM_DIST_GEOMETRIC_H_

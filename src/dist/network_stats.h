@@ -1,0 +1,21 @@
+// Network-transfer accounting shared by the distributed substrates
+// (aggregation tree, scheduled propagation, geometric monitoring). Bytes
+// are exact wire sizes as produced by dist/serialize.h, so every bench
+// and test charges the same currency.
+
+#ifndef ECM_DIST_NETWORK_STATS_H_
+#define ECM_DIST_NETWORK_STATS_H_
+
+#include <cstdint>
+
+namespace ecm {
+
+/// Cumulative transfer volume of a distributed protocol run.
+struct NetworkStats {
+  uint64_t messages = 0;  ///< point-to-point transfers
+  uint64_t bytes = 0;     ///< total payload bytes shipped
+};
+
+}  // namespace ecm
+
+#endif  // ECM_DIST_NETWORK_STATS_H_

@@ -1,0 +1,98 @@
+// Scheduled propagation (Chan et al.-style, §2 related work): each site
+// keeps a local time-based ECM-sketch and pushes a snapshot of it to the
+// coordinator when a trigger fires — on its first arrival, every `period`
+// ticks, and/or whenever its windowed L1 drifts by more than a configured
+// fraction since the last push. The coordinator answers global queries by
+// merging the freshest snapshot of every site, so its view lags each site
+// by at most one trigger interval (the bandwidth/freshness trade-off the
+// structure exists for).
+
+#ifndef ECM_DIST_PERIODIC_H_
+#define ECM_DIST_PERIODIC_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/core/ecm_sketch.h"
+#include "src/dist/network_stats.h"
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+namespace ecm {
+
+/// Coordinator plus `num_sites` local sketches with scheduled pushes.
+class PeriodicAggregator {
+ public:
+  struct Config {
+    /// Push whenever this many ticks elapsed since the site's last push
+    /// (0 = no periodic schedule).
+    uint64_t period = 0;
+    /// Push whenever the site's windowed L1 estimate moved by this
+    /// fraction (relative to its value at the last push; 0 = disabled).
+    double drift_fraction = 0.0;
+  };
+
+  struct Stats {
+    uint64_t updates = 0;          ///< arrivals processed across all sites
+    uint64_t pushes = 0;           ///< snapshots shipped to the coordinator
+    uint64_t periodic_pushes = 0;  ///< pushes triggered by the period
+    uint64_t drift_pushes = 0;     ///< pushes triggered by the drift budget
+    NetworkStats network;
+  };
+
+  PeriodicAggregator(int num_sites, const EcmConfig& sketch_config,
+                     const Config& config);
+
+  /// Routes one arrival to `site`'s local sketch and fires any due push.
+  /// Returns true iff this arrival triggered a push.
+  bool Process(int site, uint64_t key, Timestamp ts, uint64_t count = 1);
+
+  /// Forces every site to push its current sketch (e.g. before a query
+  /// barrier).
+  Status SyncAll();
+
+  /// Merged view of the freshest snapshot of every site. Fails while any
+  /// site has never pushed.
+  Result<EcmSketch<ExponentialHistogram>> GlobalView() const;
+
+  /// Point query against the coordinator's (possibly stale) merged view.
+  Result<double> GlobalPointQuery(uint64_t key, uint64_t range) const;
+
+  const Stats& stats() const { return stats_; }
+
+  /// Largest timestamp processed so far.
+  Timestamp clock() const { return clock_; }
+
+  /// The live local sketch of one site (always fresh, unlike the
+  /// coordinator's snapshot of it).
+  const EcmSketch<ExponentialHistogram>& site_sketch(int site) const {
+    return sites_[static_cast<size_t>(site)].local;
+  }
+
+ private:
+  enum class PushKind { kInitial, kPeriodic, kDrift, kForced };
+
+  struct Site {
+    explicit Site(const EcmConfig& cfg) : local(cfg) {}
+    EcmSketch<ExponentialHistogram> local;
+    std::optional<EcmSketch<ExponentialHistogram>> snapshot;
+    Timestamp last_push_ts = 0;
+    double pushed_l1 = 0.0;  ///< windowed L1 estimate at the last push
+  };
+
+  void Push(Site* site, PushKind kind);
+  Result<const EcmSketch<ExponentialHistogram>*> MergedView() const;
+
+  EcmConfig sketch_config_;
+  Config config_;
+  std::vector<Site> sites_;
+  Stats stats_;
+  Timestamp clock_ = 0;
+  // Merged snapshot cache, invalidated by every push.
+  mutable std::optional<EcmSketch<ExponentialHistogram>> merged_cache_;
+};
+
+}  // namespace ecm
+
+#endif  // ECM_DIST_PERIODIC_H_

@@ -69,8 +69,11 @@ class ZipfStream : public StreamSource {
 /// sketches (uniform, no skew) and convenient for exact-count tests.
 class RoundRobinStream : public StreamSource {
  public:
-  RoundRobinStream(uint64_t domain, uint32_t num_nodes, uint64_t ticks_per_event = 1)
-      : domain_(domain), num_nodes_(num_nodes), ticks_per_event_(ticks_per_event) {}
+  RoundRobinStream(uint64_t domain, uint32_t num_nodes,
+                   uint64_t ticks_per_event = 1)
+      : domain_(domain),
+        num_nodes_(num_nodes),
+        ticks_per_event_(ticks_per_event) {}
 
   StreamEvent Next() override {
     StreamEvent e;

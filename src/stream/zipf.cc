@@ -60,7 +60,8 @@ uint64_t ZipfDistribution::Sample(Rng& rng) const {
     // Acceptance: immediate for points deep inside the hat, otherwise the
     // exact rejection test.
     if (static_cast<double>(k) - x <= s_ ||
-        u >= HIntegral(static_cast<double>(k) + 0.5) - H(static_cast<double>(k))) {
+        u >= HIntegral(static_cast<double>(k) + 0.5) -
+                 H(static_cast<double>(k))) {
       return k;
     }
   }

@@ -45,6 +45,11 @@ class ByteWriter {
     PutVarint((static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63));
   }
 
+  /// Appends raw bytes verbatim (framing helpers in dist/serialize.h).
+  void PutRaw(const uint8_t* data, size_t size) {
+    buf_.insert(buf_.end(), data, data + size);
+  }
+
   /// Appends a double in its IEEE-754 bit pattern.
   void PutDouble(double d) {
     uint64_t bits;

@@ -37,7 +37,8 @@ concept SlidingWindowCounter =
 /// Counters whose contents can be exported as an oldest-first bucket log —
 /// the input format of the deterministic order-preserving merge (§5.1).
 template <typename C>
-concept BucketExportingCounter = SlidingWindowCounter<C> && requires(const C& cc) {
+concept BucketExportingCounter =
+    SlidingWindowCounter<C> && requires(const C& cc) {
   { cc.Buckets() } -> std::convertible_to<std::vector<BucketView>>;
 };
 

@@ -68,7 +68,9 @@ class ExponentialHistogram {
   double Estimate(Timestamp now, uint64_t range) const;
 
   /// Estimate over the full window length.
-  double EstimateWindow(Timestamp now) const { return Estimate(now, window_len()); }
+  double EstimateWindow(Timestamp now) const {
+    return Estimate(now, window_len());
+  }
 
   /// Drops buckets entirely outside the window ending at `now`.
   void Expire(Timestamp now);

@@ -12,10 +12,14 @@ namespace ecm {
 namespace {
 
 TEST(EcmConfigTest, RejectsBadParameters) {
-  EXPECT_FALSE(EcmConfig::Create(0.0, 0.1, WindowMode::kTimeBased, 100, 1).ok());
-  EXPECT_FALSE(EcmConfig::Create(1.5, 0.1, WindowMode::kTimeBased, 100, 1).ok());
-  EXPECT_FALSE(EcmConfig::Create(0.1, 0.0, WindowMode::kTimeBased, 100, 1).ok());
-  EXPECT_FALSE(EcmConfig::Create(0.1, 1.0, WindowMode::kTimeBased, 100, 1).ok());
+  EXPECT_FALSE(
+      EcmConfig::Create(0.0, 0.1, WindowMode::kTimeBased, 100, 1).ok());
+  EXPECT_FALSE(
+      EcmConfig::Create(1.5, 0.1, WindowMode::kTimeBased, 100, 1).ok());
+  EXPECT_FALSE(
+      EcmConfig::Create(0.1, 0.0, WindowMode::kTimeBased, 100, 1).ok());
+  EXPECT_FALSE(
+      EcmConfig::Create(0.1, 1.0, WindowMode::kTimeBased, 100, 1).ok());
   EXPECT_FALSE(EcmConfig::Create(0.1, 0.1, WindowMode::kTimeBased, 0, 1).ok());
 }
 

@@ -214,7 +214,8 @@ TEST_P(EhErrorSweep, ErrorWithinEpsilon) {
     eh.Add(t, count);
     exact.Add(t, count);
   }
-  for (uint64_t range : {uint64_t{100}, uint64_t{1000}, uint64_t{10000}, kWindow}) {
+  for (uint64_t range :
+       {uint64_t{100}, uint64_t{1000}, uint64_t{10000}, kWindow}) {
     double est = eh.Estimate(t, range);
     double truth = static_cast<double>(exact.Count(t, range));
     EXPECT_LE(std::abs(est - truth), p.epsilon * truth + 1.0)
