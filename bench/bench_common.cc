@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 
 namespace ecm::bench {
@@ -15,15 +16,62 @@ constexpr uint64_t kSmokeMaxEvents = 8'000;
 
 bool g_smoke_mode = false;
 
+struct BenchResult {
+  std::string name;
+  double events_per_sec;
+  double bytes;
+};
+
+std::string g_json_path;
+std::vector<BenchResult>& Results() {
+  static std::vector<BenchResult> results;
+  return results;
+}
+
+void FlushBenchJson() {
+  if (g_json_path.empty()) return;
+  std::FILE* f = std::fopen(g_json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot open --json path %s\n",
+                 g_json_path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  const auto& results = Results();
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"events_per_sec\": %.1f, "
+                 "\"bytes\": %.0f}%s\n",
+                 results[i].name.c_str(), results[i].events_per_sec,
+                 results[i].bytes, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
 }  // namespace
 
 void ParseBenchArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) g_smoke_mode = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      g_smoke_mode = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      g_json_path = argv[++i];
+      // Construct the results vector BEFORE registering the atexit hook:
+      // exit() tears down statics in reverse order, so anything the hook
+      // touches must already exist when the hook is registered.
+      Results();
+      std::atexit(FlushBenchJson);
+    }
   }
 }
 
 bool SmokeMode() { return g_smoke_mode; }
+
+void RecordBenchResult(const std::string& name, double events_per_sec,
+                       double bytes) {
+  Results().push_back(BenchResult{name, events_per_sec, bytes});
+}
 
 uint64_t ScaledEvents(uint64_t full) {
   return g_smoke_mode ? std::min(full, kSmokeMaxEvents) : full;

@@ -21,10 +21,19 @@ namespace ecm::bench {
 /// fast-path mode: LoadDataset clamps the event count hard so each binary
 /// finishes in seconds — CI runs every bench this way on each PR to catch
 /// benchmark bit-rot without paying full experiment runtimes.
+/// `--json <path>` makes the bench write every RecordBenchResult row to
+/// `path` as machine-readable JSON when the process exits — the format of
+/// the committed BENCH_*.json perf-trajectory baselines.
 void ParseBenchArgs(int argc, char** argv);
 
 /// True iff --smoke was passed to ParseBenchArgs.
 bool SmokeMode();
+
+/// Records one machine-readable result row (throughput in events/second
+/// and, where meaningful, a memory/wire footprint in bytes). Rows are
+/// written to the --json path at exit; without --json they are dropped.
+void RecordBenchResult(const std::string& name, double events_per_sec,
+                       double bytes = 0.0);
 
 /// `full` outside smoke mode, a tiny clamped count inside it. LoadDataset
 /// applies this automatically; benches that synthesize streams directly

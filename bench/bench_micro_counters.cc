@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "src/core/count_min.h"
@@ -60,6 +61,24 @@ BENCHMARK(BM_CounterAdd<RandomizedWave>);
 BENCHMARK(BM_CounterAdd<ExactWindow>);
 BENCHMARK(BM_CounterAdd<EquiWidthWindow>);
 
+// Weighted arrivals: one Add(ts, c) call per iteration. items processed
+// counts the c underlying events, so events/s is comparable with the
+// unit-weight BM_CounterAdd rows.
+template <typename Counter>
+void BM_CounterAddWeighted(benchmark::State& state) {
+  Counter counter = MakeCounter<Counter>();
+  const uint64_t weight = static_cast<uint64_t>(state.range(0));
+  Timestamp t = 1;
+  for (auto _ : state) {
+    counter.Add(t, weight);
+    t += 2;
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(weight));
+}
+BENCHMARK(BM_CounterAddWeighted<ExponentialHistogram>)->Arg(100)->Arg(10000);
+BENCHMARK(BM_CounterAddWeighted<DeterministicWave>)->Arg(100)->Arg(10000);
+BENCHMARK(BM_CounterAddWeighted<EquiWidthWindow>)->Arg(100)->Arg(10000);
+
 template <typename Counter>
 void BM_CounterEstimate(benchmark::State& state) {
   Counter counter = MakeCounter<Counter>();
@@ -96,6 +115,23 @@ void BM_EcmAdd(benchmark::State& state) {
 BENCHMARK(BM_EcmAdd<ExponentialHistogram>);
 BENCHMARK(BM_EcmAdd<DeterministicWave>);
 BENCHMARK(BM_EcmAdd<RandomizedWave>);
+
+template <typename Counter>
+void BM_EcmAddWeighted(benchmark::State& state) {
+  auto sketch = EcmSketch<Counter>::Create(
+      0.1, 0.1, WindowMode::kTimeBased, kWindow, 3,
+      OptimizeFor::kPointQueries, 1 << 17);
+  const uint64_t weight = static_cast<uint64_t>(state.range(0));
+  Rng rng(1);
+  Timestamp t = 1;
+  for (auto _ : state) {
+    sketch->Add(rng.Uniform(100000), t, weight);
+    t += 1;
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(weight));
+}
+BENCHMARK(BM_EcmAddWeighted<ExponentialHistogram>)->Arg(100)->Arg(10000);
+BENCHMARK(BM_EcmAddWeighted<DeterministicWave>)->Arg(100)->Arg(10000);
 
 template <typename Counter>
 void BM_EcmPointQuery(benchmark::State& state) {
@@ -149,18 +185,27 @@ BENCHMARK(BM_CountMinAdd);
 }  // namespace ecm
 
 // Custom main instead of BENCHMARK_MAIN(): Google Benchmark rejects
-// unknown flags, so --smoke is stripped here and mapped onto a tiny
-// per-benchmark minimum time (the CI smoke gate runs every bench binary
-// with the same flag).
+// unknown flags, so the shared bench flags are stripped here — --smoke
+// maps onto a tiny per-benchmark minimum time (the CI smoke gate runs
+// every bench binary with the same flag) and --json <path> onto Google
+// Benchmark's own JSON reporter.
 int main(int argc, char** argv) {
   std::vector<char*> args;
   bool smoke = false;
+  std::string out_flag;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      out_flag = std::string("--benchmark_out=") + argv[++i];
     } else {
       args.push_back(argv[i]);
     }
+  }
+  char format_flag[] = "--benchmark_out_format=json";
+  if (!out_flag.empty()) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag);
   }
   char min_time_flag[] = "--benchmark_min_time=0.01";
   if (smoke) args.push_back(min_time_flag);

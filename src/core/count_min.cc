@@ -8,8 +8,13 @@
 namespace ecm {
 
 CountMinSketch::CountMinSketch(uint32_t width, int depth, uint64_t seed)
-    : width_(width), depth_(depth), hashes_(seed, depth) {
-  assert(width_ > 0 && depth_ > 0);
+    // Depth is capped at kMaxSketchDepth: the one-pass update path fills a
+    // fixed d-entry bucket array, so an oversized depth must shrink the
+    // sketch rather than overflow the array in Release builds.
+    : width_(width),
+      depth_(std::min(depth, kMaxSketchDepth)),
+      hashes_(seed, depth_) {
+  assert(width_ > 0 && depth > 0 && depth <= kMaxSketchDepth);
   table_.assign(static_cast<size_t>(width_) * depth_, 0);
 }
 
@@ -22,16 +27,20 @@ CountMinSketch CountMinSketch::FromErrorBounds(double epsilon, double delta,
 }
 
 void CountMinSketch::Add(uint64_t key, uint64_t count) {
+  uint32_t cols[kMaxSketchDepth];
+  hashes_.BucketsMixed(key, width_, cols);
   for (int j = 0; j < depth_; ++j) {
-    counter_ref(j, hashes_.Bucket(j, key, width_)) += count;
+    counter_ref(j, cols[j]) += count;
   }
   l1_ += count;
 }
 
 uint64_t CountMinSketch::PointQuery(uint64_t key) const {
+  uint32_t cols[kMaxSketchDepth];
+  hashes_.BucketsMixed(key, width_, cols);
   uint64_t best = std::numeric_limits<uint64_t>::max();
   for (int j = 0; j < depth_; ++j) {
-    best = std::min(best, counter(j, hashes_.Bucket(j, key, width_)));
+    best = std::min(best, counter(j, cols[j]));
   }
   return best;
 }
@@ -54,8 +63,7 @@ Result<uint64_t> CountMinSketch::InnerProduct(
 }
 
 uint64_t CountMinSketch::SelfJoin() const {
-  auto r = InnerProduct(*this);
-  return *r;  // always compatible with itself
+  return UnwrapCompatible(InnerProduct(*this), "CountMinSketch::SelfJoin");
 }
 
 Status CountMinSketch::MergeWith(const CountMinSketch& other) {

@@ -106,6 +106,10 @@ Result<EcmConfig> EcmConfig::Create(double epsilon, double delta,
       static_cast<uint32_t>(std::ceil(std::exp(1.0) / cfg.epsilon_cm));
   cfg.depth = std::max(
       1, static_cast<int>(std::ceil(std::log(1.0 / cfg.delta_cm))));
+  // The one-pass update path fills a fixed d-entry bucket array; depth
+  // beyond kMaxSketchDepth needs delta < 2e-28, so clamping costs nothing
+  // real while keeping the hot path branch-free.
+  cfg.depth = std::min(cfg.depth, kMaxSketchDepth);
   return cfg;
 }
 

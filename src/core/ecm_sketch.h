@@ -82,8 +82,15 @@ class EcmSketch {
   /// EcmConfig::Create). Sketches that will be merged or compared must be
   /// built from compatible configs (same dimensions/seed/window/mode).
   explicit EcmSketch(const EcmConfig& config)
-      : config_(config), hashes_(config.seed, config.depth) {
-    assert(config.width > 0 && config.depth > 0);
+      : config_(config),
+        hashes_(config.seed, std::min(config.depth, kMaxSketchDepth),
+                config.hash_reduction) {
+    assert(config.width > 0 && config.depth > 0 &&
+           config.depth <= kMaxSketchDepth);
+    // Defense in depth for hand-built configs: the one-pass update path
+    // fills a fixed kMaxSketchDepth-entry bucket array, so an oversized
+    // depth must shrink the sketch, not overflow the array in Release.
+    config_.depth = std::min(config_.depth, kMaxSketchDepth);
     counters_.reserve(NumCounters());
     auto counter_cfg = MakeCounterConfig<Counter>(config);
     for (size_t i = 0; i < NumCounters(); ++i) {
@@ -128,8 +135,11 @@ class EcmSketch {
     }
     last_ts_ = use_ts;
     l1_lifetime_ += count;
+    // One-pass hashing: mix the key once, derive all d row buckets.
+    uint32_t cols[kMaxSketchDepth];
+    hashes_.BucketsMixed(key, config_.width, cols);
     for (int j = 0; j < config_.depth; ++j) {
-      CounterAt(j, hashes_.Bucket(j, key, config_.width)).Add(use_ts, count);
+      CounterAt(j, cols[j]).Add(use_ts, count);
     }
   }
 
@@ -142,9 +152,11 @@ class EcmSketch {
   /// Point query evaluated at an explicit clock value `now` (time-based
   /// mode; `now` must be >= the last Add timestamp).
   double PointQueryAt(uint64_t key, uint64_t range, Timestamp now) const {
+    uint32_t cols[kMaxSketchDepth];
+    hashes_.BucketsMixed(key, config_.width, cols);
     double best = std::numeric_limits<double>::infinity();
     for (int j = 0; j < config_.depth; ++j) {
-      best = std::min(best, PointQueryRowAt(key, j, range, now));
+      best = std::min(best, CounterAt(j, cols[j]).Estimate(now, range));
     }
     return best;
   }
@@ -185,8 +197,8 @@ class EcmSketch {
   /// Estimated self-join size (second frequency moment F₂) of the trailing
   /// `range`.
   double SelfJoin(uint64_t range) const {
-    auto r = InnerProduct(*this, range);
-    return *r;  // always compatible with itself
+    return UnwrapCompatible(InnerProduct(*this, range),
+                            "EcmSketch::SelfJoin");
   }
 
   /// Estimate of ‖a_r‖₁ (total arrivals in the trailing `range`), computed

@@ -7,6 +7,12 @@ namespace {
 
 constexpr uint8_t kConfigMagic[4] = {'E', 'C', 'M', 'C'};
 
+// Config wire version. v2 added the explicit version byte itself and the
+// hash-reduction field (the fast-range bucket mapping re-maps every key,
+// so decoding a v1 sketch with v2 code would silently answer queries from
+// the wrong buckets — stale encodings must be rejected, not misread).
+constexpr uint8_t kConfigWireVersion = 2;
+
 // Upper bounds accepted from the wire. Real configs are far below these
 // (width = ceil(e/ε_cm), depth = ceil(ln 1/δ_cm)); the caps exist so a
 // corrupt dimension field cannot request a multi-gigabyte allocation.
@@ -48,6 +54,8 @@ uint64_t WireChecksum(const uint8_t* data, size_t size) {
 
 void SerializeEcmConfig(const EcmConfig& cfg, ByteWriter* w) {
   w->PutRaw(kConfigMagic, sizeof(kConfigMagic));
+  w->PutFixed<uint8_t>(kConfigWireVersion);
+  w->PutFixed<uint8_t>(static_cast<uint8_t>(cfg.hash_reduction));
   w->PutFixed<uint8_t>(static_cast<uint8_t>(cfg.mode));
   w->PutVarint(cfg.window_len);
   w->PutVarint(cfg.max_arrivals);
@@ -68,7 +76,19 @@ Result<EcmConfig> DeserializeEcmConfig(ByteReader* r) {
     if (!b.ok()) return b.status();
     if (*b != expected) return Status::Corruption("bad config magic");
   }
+  auto version = r->GetFixed<uint8_t>();
+  if (!version.ok()) return version.status();
+  if (*version != kConfigWireVersion) {
+    return Status::Corruption("config: unsupported wire version");
+  }
   EcmConfig cfg;
+  auto reduction = r->GetFixed<uint8_t>();
+  if (!reduction.ok()) return reduction.status();
+  if (*reduction != static_cast<uint8_t>(HashReduction::kModulo) &&
+      *reduction != static_cast<uint8_t>(HashReduction::kFastRange)) {
+    return Status::Corruption("config: unknown hash reduction");
+  }
+  cfg.hash_reduction = static_cast<HashReduction>(*reduction);
   auto mode = r->GetFixed<uint8_t>();
   if (!mode.ok()) return mode.status();
   if (*mode > static_cast<uint8_t>(WindowMode::kCountBased)) {

@@ -6,9 +6,13 @@ namespace ecm {
 
 uint64_t PairwiseHash::MulModMersenne61(uint64_t x, uint64_t y) {
   __uint128_t prod = static_cast<__uint128_t>(x) * y;
-  uint64_t lo = static_cast<uint64_t>(prod & kMersenne61);
-  uint64_t hi = static_cast<uint64_t>(prod >> 61);
-  uint64_t sum = lo + hi;
+  // Two folding rounds reduce any 128-bit product exactly mod 2^61-1. One
+  // round is not enough for full 64-bit operands (e.g. Mix64 outputs): the
+  // first fold can leave up to 65 bits, which a single conditional
+  // subtraction cannot bring below the modulus.
+  __uint128_t folded = (prod & kMersenne61) + (prod >> 61);
+  uint64_t sum =
+      static_cast<uint64_t>((folded & kMersenne61) + (folded >> 61));
   if (sum >= kMersenne61) sum -= kMersenne61;
   return sum;
 }
@@ -18,7 +22,8 @@ PairwiseHash::PairwiseHash(uint64_t seed_a, uint64_t seed_b) {
   b_ = Mix64(seed_b) % kMersenne61;            // in [0, p)
 }
 
-HashFamily::HashFamily(uint64_t seed, int d) : seed_(seed) {
+HashFamily::HashFamily(uint64_t seed, int d, HashReduction reduction)
+    : seed_(seed), reduction_(reduction) {
   funcs_.reserve(d);
   for (int i = 0; i < d; ++i) {
     // Distinct, deterministic sub-seeds per row.

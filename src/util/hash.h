@@ -5,10 +5,20 @@
 // which is exact for 64-bit keys after a 64-bit mixing step. Randomized
 // waves need a geometric level assignment, derived from a strong 64-bit
 // mixer (SplitMix64 finalizer).
+//
+// Update-path layout: a sketch Add/PointQuery needs all d row buckets of
+// one key. BucketsMixed computes the Mix64 step once and derives every
+// row's bucket from the shared mixed word, and the bucket reduction uses
+// Lemire's multiply-shift fast range instead of a hardware divide. The
+// reduction is versioned (HashReduction) because changing it re-maps every
+// key: two sketches agree on bucket placement only if they share seed,
+// depth, AND reduction, and serialized sketches record the reduction so
+// stale encodings are rejected instead of silently misread.
 
 #ifndef ECM_UTIL_HASH_H_
 #define ECM_UTIL_HASH_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -21,6 +31,19 @@ inline uint64_t Mix64(uint64_t x) {
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
   return x ^ (x >> 31);
 }
+
+/// How a 61-bit row hash is reduced to a bucket index in [0, width).
+/// Part of a sketch's identity: sketches (and their serialized forms) are
+/// only compatible when the reduction matches.
+enum class HashReduction : uint8_t {
+  kModulo = 1,     ///< legacy `raw % width` (hardware divide per row)
+  kFastRange = 2,  ///< Lemire multiply-shift on the hash's high 32 bits
+};
+
+/// Largest Count-Min depth the one-pass update path supports (also the
+/// cap enforced by the wire format). d = ceil(ln(1/δ)) reaches 64 only for
+/// δ < 2e-28, far beyond any practical failure budget.
+inline constexpr int kMaxSketchDepth = 64;
 
 /// One member of a 2-universal family h(x) = ((a*x + b) mod p) mod w,
 /// p = 2^61 - 1. `a` is drawn from [1, p), `b` from [0, p).
@@ -35,14 +58,30 @@ class PairwiseHash {
   PairwiseHash(uint64_t seed_a, uint64_t seed_b);
 
   /// Hashes `key` into [0, width).
-  uint32_t Bucket(uint64_t key, uint32_t width) const {
-    return static_cast<uint32_t>(Raw(key) % width);
+  uint32_t Bucket(uint64_t key, uint32_t width,
+                  HashReduction reduction = HashReduction::kFastRange) const {
+    return Reduce(Raw(key), width, reduction);
   }
 
-  /// The full 61-bit hash value before reduction mod width.
-  uint64_t Raw(uint64_t key) const {
-    uint64_t v = MulModMersenne61(a_, Mix64(key)) + b_;
+  /// The full 61-bit hash value before reduction to a bucket.
+  uint64_t Raw(uint64_t key) const { return RawMixed(Mix64(key)); }
+
+  /// Same as Raw, but for a key already passed through Mix64 — the shared
+  /// per-Add mixing step of the one-pass sketch update path.
+  uint64_t RawMixed(uint64_t mixed) const {
+    uint64_t v = MulModMersenne61(a_, mixed) + b_;
     return v >= kMersenne61 ? v - kMersenne61 : v;
+  }
+
+  /// Reduces a 61-bit hash value to [0, width).
+  static uint32_t Reduce(uint64_t raw, uint32_t width,
+                         HashReduction reduction) {
+    if (reduction == HashReduction::kModulo) {
+      return static_cast<uint32_t>(raw % width);
+    }
+    // Lemire fast range over the hash's high 32 bits: raw < 2^61, so
+    // raw >> 29 is a uniform 32-bit word and the product fits 64 bits.
+    return static_cast<uint32_t>(((raw >> 29) * width) >> 32);
   }
 
   uint64_t a() const { return a_; }
@@ -60,31 +99,49 @@ class PairwiseHash {
 
 /// A family of `d` independent PairwiseHash functions, one per Count-Min
 /// row, all derived deterministically from a single seed. Two families
-/// built from the same (seed, d) are identical — the property that makes
-/// sketches mergeable across machines.
+/// built from the same (seed, d, reduction) are identical — the property
+/// that makes sketches mergeable across machines.
 class HashFamily {
  public:
   HashFamily() = default;
 
   /// Creates `d` hash functions seeded from `seed`.
-  HashFamily(uint64_t seed, int d);
+  explicit HashFamily(uint64_t seed, int d,
+                      HashReduction reduction = HashReduction::kFastRange);
 
   /// Hashes key with function `row` into [0, width).
   uint32_t Bucket(int row, uint64_t key, uint32_t width) const {
-    return funcs_[row].Bucket(key, width);
+    return funcs_[row].Bucket(key, width, reduction_);
+  }
+
+  /// One-pass bucket computation: mixes `key` once and fills
+  /// `out[0..depth)` with every row's bucket in [0, width). `out` must
+  /// have room for depth() entries (kMaxSketchDepth always suffices).
+  void BucketsMixed(uint64_t key, uint32_t width, uint32_t* out) const {
+    uint64_t mixed = Mix64(key);
+    const HashReduction reduction = reduction_;
+    const PairwiseHash* funcs = funcs_.data();
+    const size_t d = funcs_.size();
+    for (size_t row = 0; row < d; ++row) {
+      out[row] = PairwiseHash::Reduce(funcs[row].RawMixed(mixed), width,
+                                      reduction);
+    }
   }
 
   int depth() const { return static_cast<int>(funcs_.size()); }
   uint64_t seed() const { return seed_; }
+  HashReduction reduction() const { return reduction_; }
 
-  /// True iff the two families were built from the same seed and depth
-  /// (and therefore produce identical mappings).
+  /// True iff the two families were built from the same seed, depth and
+  /// reduction (and therefore produce identical mappings).
   bool SameAs(const HashFamily& other) const {
-    return seed_ == other.seed_ && funcs_.size() == other.funcs_.size();
+    return seed_ == other.seed_ && funcs_.size() == other.funcs_.size() &&
+           reduction_ == other.reduction_;
   }
 
  private:
   uint64_t seed_ = 0;
+  HashReduction reduction_ = HashReduction::kFastRange;
   std::vector<PairwiseHash> funcs_;
 };
 

@@ -5,6 +5,8 @@
 #define ECM_UTIL_RESULT_H_
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <utility>
 
@@ -67,6 +69,21 @@ class Result {
   std::optional<T> value_;
   Status status_;
 };
+
+/// Unwraps a Result that is guaranteed to hold a value by construction
+/// (e.g. comparing a sketch with itself, which is always compatible).
+/// Debug builds assert with `context` when the guarantee is violated;
+/// release builds abort instead of dereferencing an empty Result.
+template <typename T>
+T UnwrapCompatible(Result<T> r, const char* context) {
+  assert(r.ok() && context != nullptr);
+  if (!r.ok()) {
+    std::fprintf(stderr, "UnwrapCompatible(%s): %s\n", context,
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  return r.MoveValue();
+}
 
 /// Propagates the error of a Result expression, or assigns its value.
 #define ECM_ASSIGN_OR_RETURN(lhs, expr)         \

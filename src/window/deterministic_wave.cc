@@ -42,10 +42,52 @@ void DeterministicWave::AddOne(Timestamp ts) {
   }
 }
 
+void DeterministicWave::AddBatch(Timestamp ts, uint64_t count) {
+  // All `count` arrivals share one timestamp, so each level's update has a
+  // closed form: level j records the ranks divisible by 2^j inside
+  // (lifetime, lifetime + count], and only the most recent
+  // `level_capacity_` of them survive — the rest would be pushed and
+  // popped straight through, leaving only an anchor update. The final
+  // state is exactly what `count` AddOne calls would produce, at
+  // O(levels + level_capacity_) cost instead of O(count · levels).
+  const uint64_t lt = lifetime_;
+  for (size_t j = 0; j < levels_.size(); ++j) {
+    const uint64_t step = 1ULL << j;
+    const uint64_t new_entries = ((lt + count) >> j) - (lt >> j);
+    if (new_entries == 0) break;  // higher levels are sparser still
+    auto& level = levels_[j];
+    const uint64_t sz = level.size();
+    const uint64_t keep = std::min(sz + new_entries, level_capacity_);
+    const uint64_t new_kept = std::min(new_entries, keep);
+    const uint64_t old_kept = keep - new_kept;
+    const uint64_t pops = sz + new_entries - keep;
+    if (pops > 0) {
+      if (pops <= sz) {
+        // Last evicted entry is a pre-existing one.
+        anchors_[j] = level[pops - 1];
+      } else {
+        // Evictions ran into the new run: the last skipped new rank.
+        const uint64_t first_rank = ((lt >> j) + 1) << j;
+        anchors_[j] = Entry{first_rank + (pops - sz - 1) * step, ts};
+      }
+      for (uint64_t p = 0; p < sz - old_kept; ++p) level.pop_front();
+    }
+    const uint64_t last_rank = ((lt + count) >> j) << j;
+    for (uint64_t p = new_kept; p-- > 0;) {
+      level.push_back(Entry{last_rank - p * step, ts});
+    }
+  }
+  lifetime_ += count;
+}
+
 void DeterministicWave::Add(Timestamp ts, uint64_t count) {
   assert(ts >= last_ts_ && "timestamps must be non-decreasing");
   last_ts_ = ts;
-  for (uint64_t i = 0; i < count; ++i) AddOne(ts);
+  if (count == 1) {
+    AddOne(ts);
+  } else if (count > 1) {
+    AddBatch(ts, count);
+  }
   Expire(ts);
 }
 

@@ -85,6 +85,8 @@ class DeterministicWave {
   };
 
   void AddOne(Timestamp ts);
+  // Closed-form equivalent of `count` AddOne calls at one timestamp.
+  void AddBatch(Timestamp ts, uint64_t count);
 
   double epsilon_;
   uint64_t window_len_;

@@ -15,7 +15,8 @@ ExponentialHistogram::ExponentialHistogram(const Config& config)
   // below the top one, which yields invariant 1 of the paper for every
   // bucket of size >= 2:  C_j <= 2*eps*(1 + sum of more recent sizes).
   // Clamped before the float->int cast (tiny epsilons from hostile bytes
-  // must not overflow into UB).
+  // must not overflow into UB); the clamp also keeps ring arithmetic in
+  // 32 bits.
   double k = std::ceil(1.0 / epsilon_);
   if (!(k >= 1.0)) k = 1.0;
   if (k > 1e9) k = 1e9;
@@ -23,50 +24,118 @@ ExponentialHistogram::ExponentialHistogram(const Config& config)
 }
 
 void ExponentialHistogram::AddOne(Timestamp ts) {
-  ++lifetime_;
-  ++total_;
   ++num_buckets_;
-  if (levels_.empty()) levels_.emplace_back();
-  levels_[0].push_back(Bucket{ts});
+  EnsureLevel(0);
+  PushBack(0, Bucket{ts});
   // Cascade merges: when a level fills up, its two oldest buckets coalesce
   // into one bucket of double size, which is the *newest* bucket of the
   // next level (bucket sizes are non-decreasing with age).
-  for (size_t i = 0; i < levels_.size() && levels_[i].size() >= level_capacity_;
-       ++i) {
-    Bucket oldest = levels_[i].front();
-    levels_[i].pop_front();
-    Bucket second = levels_[i].front();
-    levels_[i].pop_front();
-    (void)oldest;  // merged bucket keeps the newer end timestamp
-    if (i + 1 == levels_.size()) levels_.emplace_back();
-    levels_[i + 1].push_back(Bucket{second.end});
+  for (size_t i = 0;
+       i < levels_.size() && levels_[i].count >= level_capacity_; ++i) {
+    PopFront(i);  // merged bucket keeps the newer end timestamp
+    Bucket second = PopFront(i);
+    EnsureLevel(i + 1);
+    PushBack(i + 1, Bucket{second.end});
     --num_buckets_;
   }
+}
+
+void ExponentialHistogram::AddBatch(Timestamp ts, uint64_t count) {
+  // Closed-form, level-by-level propagation of the unit-insert cascade.
+  // The incoming buckets of the current level are `expl` — explicit end
+  // timestamps emitted by merges of pre-existing buckets one level below,
+  // oldest first — followed by a run of `ts_run` buckets all ending at
+  // `ts`. The final state is exactly what `count` sequential AddOne calls
+  // would leave behind, at O(log(count) + level_capacity_) bucket ops.
+  //
+  // Reused thread-local scratch keeps the weighted path allocation-free
+  // after warm-up (sizes are bounded by level_capacity_; a histogram is
+  // not shared across threads anyway).
+  static thread_local std::vector<Timestamp> expl, next_expl;
+  expl.clear();
+  uint64_t ts_run = count;
+  int64_t bucket_delta = 0;
+  for (size_t i = 0; ts_run + expl.size() > 0; ++i) {
+    EnsureLevel(i);
+    const uint64_t c = level_capacity_;
+    const uint64_t m = levels_[i].count;
+    const uint64_t k = expl.size() + ts_run;
+    // Merges the unit cascade performs here: the first fires once the
+    // level fills to c, then one more per two further appends.
+    const uint64_t merges = (k >= c - m) ? 1 + (k - (c - m)) / 2 : 0;
+    bucket_delta +=
+        static_cast<int64_t>(k) - 2 * static_cast<int64_t>(merges);
+    if (merges == 0) {
+      for (Timestamp e : expl) PushBack(i, Bucket{e});
+      for (uint64_t j = 0; j < ts_run; ++j) PushBack(i, Bucket{ts});
+      break;
+    }
+    // Merge j (1-based) coalesces elements 2j-1 and 2j of the oldest-first
+    // sequence [existing buckets, expl, ts-run] and emits a bucket ending
+    // at element 2j into the next level; once 2j lands in the ts-run every
+    // remaining merge emits `ts`.
+    next_expl.clear();
+    uint64_t next_ts_run = 0;
+    for (uint64_t j = 1; j <= merges; ++j) {
+      const uint64_t p = 2 * j;
+      if (p <= m) {
+        next_expl.push_back(At(i, static_cast<uint32_t>(p - 1)).end);
+      } else if (p <= m + expl.size()) {
+        next_expl.push_back(expl[p - m - 1]);
+      } else {
+        next_ts_run = merges - j + 1;
+        break;
+      }
+    }
+    // Consume the merged prefix: drop min(2*merges, m) existing buckets,
+    // then skip the first (2*merges - m) incoming ones (which the unit
+    // cascade would have appended and immediately merged away), and append
+    // what survives.
+    const uint64_t consumed_existing = std::min(2 * merges, m);
+    for (uint64_t j = 0; j < consumed_existing; ++j) PopFront(i);
+    const uint64_t dropped_in = 2 * merges - consumed_existing;
+    const uint64_t dropped_expl = std::min<uint64_t>(dropped_in, expl.size());
+    for (size_t x = dropped_expl; x < expl.size(); ++x) {
+      PushBack(i, Bucket{expl[x]});
+    }
+    for (uint64_t x = dropped_in - dropped_expl; x < ts_run; ++x) {
+      PushBack(i, Bucket{ts});
+    }
+    expl.swap(next_expl);
+    ts_run = next_ts_run;
+  }
+  num_buckets_ =
+      static_cast<size_t>(static_cast<int64_t>(num_buckets_) + bucket_delta);
 }
 
 void ExponentialHistogram::Add(Timestamp ts, uint64_t count) {
   assert(ts >= last_ts_ && "timestamps must be non-decreasing");
   last_ts_ = ts;
-  for (uint64_t i = 0; i < count; ++i) AddOne(ts);
+  lifetime_ += count;
+  total_ += count;
+  if (count == 1) {
+    AddOne(ts);
+  } else if (count > 1) {
+    AddBatch(ts, count);
+  }
   Expire(ts);
 }
 
 void ExponentialHistogram::Expire(Timestamp now) {
   Timestamp wstart = WindowStart(now, window_len_);
-  // Oldest buckets live at the highest levels; within a level, at front().
+  // Oldest buckets live at the highest levels; within a level, at front.
   for (size_t i = levels_.size(); i-- > 0;) {
-    auto& level = levels_[i];
     bool dropped_here = false;
-    while (!level.empty() && level.front().end <= wstart) {
-      if (level.front().end > expired_end_) expired_end_ = level.front().end;
+    while (levels_[i].count > 0 && At(i, 0).end <= wstart) {
+      Bucket b = PopFront(i);
+      if (b.end > expired_end_) expired_end_ = b.end;
       total_ -= (1ULL << i);
       --num_buckets_;
-      level.pop_front();
       dropped_here = true;
     }
     // If nothing expired at this level, nothing can expire below it either:
     // lower-level buckets are strictly newer.
-    if (!dropped_here && !level.empty()) break;
+    if (!dropped_here && levels_[i].count > 0) break;
   }
 }
 
@@ -84,13 +153,20 @@ double ExponentialHistogram::Estimate(Timestamp now, uint64_t range) const {
   double sum = 0.0;
   bool first_included = true;
   for (size_t i = levels_.size(); i-- > 0;) {
-    const auto& level = levels_[i];
-    if (level.empty() || level.back().end <= boundary) continue;
-    auto it = std::partition_point(
-        level.begin(), level.end(),
-        [boundary](const Bucket& b) { return b.end <= boundary; });
+    const uint32_t n = levels_[i].count;
+    if (n == 0 || At(i, n - 1).end <= boundary) continue;
+    // First ring position whose bucket end exceeds the boundary.
+    uint32_t lo = 0, hi = n;
+    while (lo < hi) {
+      uint32_t mid = lo + (hi - lo) / 2;
+      if (At(i, mid).end <= boundary) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
     double size = static_cast<double>(1ULL << i);
-    sum += size * static_cast<double>(level.end() - it);
+    sum += size * static_cast<double>(n - lo);
     if (first_included) {
       // The oldest bucket intersecting the query contributes half its
       // size if it straddles the boundary (paper §3) and fully if its
@@ -99,18 +175,18 @@ double ExponentialHistogram::Estimate(Timestamp now, uint64_t range) const {
       // else the newest bucket of the next-higher non-empty level, else
       // the expiry watermark.
       Timestamp prev_end = expired_end_;
-      if (it != level.begin()) {
-        prev_end = std::prev(it)->end;
+      if (lo > 0) {
+        prev_end = At(i, lo - 1).end;
       } else {
         for (size_t j = i + 1; j < levels_.size(); ++j) {
-          if (!levels_[j].empty()) {
-            prev_end = levels_[j].back().end;
+          if (levels_[j].count > 0) {
+            prev_end = At(j, levels_[j].count - 1).end;
             break;
           }
         }
       }
       bool fully_inside =
-          boundary == 0 || prev_end > boundary || prev_end >= it->end;
+          boundary == 0 || prev_end > boundary || prev_end >= At(i, lo).end;
       if (!fully_inside) sum -= size / 2.0;
       first_included = false;
     }
@@ -120,8 +196,8 @@ double ExponentialHistogram::Estimate(Timestamp now, uint64_t range) const {
 
 size_t ExponentialHistogram::MemoryBytes() const {
   size_t bytes = sizeof(*this);
-  bytes += levels_.size() * sizeof(std::deque<Bucket>);
-  bytes += num_buckets_ * sizeof(Bucket);
+  bytes += arena_.capacity() * sizeof(Bucket);
+  bytes += levels_.capacity() * sizeof(Level);
   return bytes;
 }
 
@@ -131,9 +207,9 @@ std::vector<BucketView> ExponentialHistogram::Buckets() const {
   Timestamp prev_end = expired_end_;
   for (size_t i = levels_.size(); i-- > 0;) {
     uint64_t size = 1ULL << i;
-    for (const Bucket& b : levels_[i]) {
-      out.push_back(BucketView{prev_end, b.end, size});
-      prev_end = b.end;
+    for (uint32_t j = 0; j < levels_[i].count; ++j) {
+      out.push_back(BucketView{prev_end, At(i, j).end, size});
+      prev_end = At(i, j).end;
     }
   }
   return out;
@@ -146,7 +222,9 @@ int ExponentialHistogram::CheckInvariant() const {
   std::vector<uint64_t> sizes;
   sizes.reserve(num_buckets_);
   for (size_t i = levels_.size(); i-- > 0;) {
-    for (size_t j = 0; j < levels_[i].size(); ++j) sizes.push_back(1ULL << i);
+    for (uint32_t j = 0; j < levels_[i].count; ++j) {
+      sizes.push_back(1ULL << i);
+    }
   }
   for (size_t j = 0; j < sizes.size(); ++j) {
     if (sizes[j] < 2) continue;
@@ -163,6 +241,10 @@ int ExponentialHistogram::CheckInvariant() const {
 
 namespace {
 constexpr uint8_t kEhMagic = 0xE1;
+// Deserialization bound on the preallocated arena (slots = levels × level
+// capacity). Real configurations sit far below this; a corrupt epsilon
+// must not be able to request a multi-gigabyte allocation.
+constexpr uint64_t kMaxDeserializeSlots = 1ULL << 22;
 }  // namespace
 
 void ExponentialHistogram::SerializeTo(ByteWriter* w) const {
@@ -173,12 +255,12 @@ void ExponentialHistogram::SerializeTo(ByteWriter* w) const {
   w->PutVarint(lifetime_);
   w->PutVarint(last_ts_);
   w->PutVarint(levels_.size());
-  for (const auto& level : levels_) {
-    w->PutVarint(level.size());
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    w->PutVarint(levels_[i].count);
     Timestamp prev = 0;
-    for (const Bucket& b : level) {
-      w->PutVarint(b.end - prev);  // front-to-back end stamps ascend
-      prev = b.end;
+    for (uint32_t j = 0; j < levels_[i].count; ++j) {
+      w->PutVarint(At(i, j).end - prev);  // front-to-back end stamps ascend
+      prev = At(i, j).end;
     }
   }
 }
@@ -214,16 +296,24 @@ Result<ExponentialHistogram> ExponentialHistogram::Deserialize(
   if (*num_levels > 64) {
     return Status::Corruption("exponential histogram claims > 64 levels");
   }
-  eh.levels_.resize(*num_levels);
+  if (*num_levels * static_cast<uint64_t>(eh.level_capacity_) >
+      kMaxDeserializeSlots) {
+    return Status::Corruption("exponential histogram claims implausible "
+                              "level capacity");
+  }
+  if (*num_levels > 0) eh.EnsureLevel(*num_levels - 1);
   for (size_t i = 0; i < *num_levels; ++i) {
     auto count = r->GetVarint();
     if (!count.ok()) return count.status();
+    if (*count >= eh.level_capacity_) {
+      return Status::Corruption("exponential histogram level over capacity");
+    }
     Timestamp prev = 0;
     for (uint64_t j = 0; j < *count; ++j) {
       auto delta = r->GetVarint();
       if (!delta.ok()) return delta.status();
       prev += *delta;
-      eh.levels_[i].push_back(Bucket{prev});
+      eh.PushBack(i, Bucket{prev});
       ++eh.num_buckets_;
       eh.total_ += 1ULL << i;
     }

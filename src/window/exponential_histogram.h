@@ -11,10 +11,20 @@
 // which bounds the query-time error (half the partially-overlapping oldest
 // bucket) by ε times the true count.
 //
-// Storage follows the layout the paper found fastest (§7.1): the bucket
-// list is split into levels L0, L1, ..., level i being a deque that holds
-// only buckets of size 2^i. Levels are allocated lazily. This gives random
-// access by level and O(1) bucket merges.
+// Storage follows the layout the paper found fastest (§7.1) — the bucket
+// list is split into levels L0, L1, ..., level i holding only buckets of
+// size 2^i — but instead of one deque per level the buckets live in a
+// single contiguous arena with `level_capacity_` ring-buffer slots per
+// level (head/count indices, level count grown lazily). A bucket is then
+// one 8-byte timestamp, pushes and pops never touch the allocator, and a
+// level is a cache-line-friendly slice instead of scattered deque chunks.
+//
+// Weighted arrivals: Add(ts, count) costs O(log(count) + level_capacity_)
+// bucket operations, not O(count). The batch insert propagates the unit
+// cascade level by level in closed form and reproduces the exact bucket
+// state that `count` sequential unit inserts would produce, so estimates,
+// invariant 1, merges and the wire encoding are all indistinguishable from
+// the sequential path.
 //
 // Space: O(log²(N) / ε) bits. Amortized update: O(1). Both window models
 // are supported; the timestamp convention is defined in window_spec.h.
@@ -23,7 +33,6 @@
 #define ECM_WINDOW_EXPONENTIAL_HISTOGRAM_H_
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "src/util/bytes.h"
@@ -60,6 +69,8 @@ class ExponentialHistogram {
 
   /// Registers `count` arrivals at timestamp `ts` (non-decreasing across
   /// calls, and >= 1) and expires buckets that slid out of the window.
+  /// Weighted inserts are O(log(count) + 1/ε) and produce the same bucket
+  /// state as `count` unit inserts.
   void Add(Timestamp ts, uint64_t count = 1);
 
   /// Estimated number of arrivals with timestamp in (now - range, now].
@@ -85,7 +96,7 @@ class ExponentialHistogram {
   /// Number of buckets currently held.
   size_t NumBuckets() const { return num_buckets_; }
 
-  /// Approximate in-memory footprint in bytes (buckets + level directory).
+  /// Approximate in-memory footprint in bytes (arena + level directory).
   size_t MemoryBytes() const;
 
   /// Snapshot of all buckets, oldest first, with reconstructed start
@@ -106,6 +117,8 @@ class ExponentialHistogram {
 
   /// Appends the exact wire encoding (varint bucket log) to `w`. The wire
   /// size is what the distributed benches account as network transfer.
+  /// The encoding is bucket-layout-independent (a level log of end
+  /// timestamps) and is unchanged from the deque-backed representation.
   void SerializeTo(ByteWriter* w) const;
 
   /// Decodes a histogram previously written by SerializeTo.
@@ -115,9 +128,47 @@ class ExponentialHistogram {
   struct Bucket {
     Timestamp end;  // timestamp of the newest 1-bit in the bucket
   };
+  // Ring-buffer directory entry for one level; the level's slots are
+  // arena_[i * level_capacity_ .. (i+1) * level_capacity_).
+  struct Level {
+    uint32_t head = 0;   // arena slot offset of the oldest bucket
+    uint32_t count = 0;  // buckets held (< level_capacity_ between Adds)
+  };
 
-  // Inserts a single 1-bit at `ts` and cascades merges.
+  // --- ring-buffer primitives -------------------------------------------
+  const Bucket& At(size_t level, uint32_t pos) const {
+    return arena_[Slot(level, pos)];
+  }
+  size_t Slot(size_t level, uint32_t pos) const {
+    uint32_t cap = static_cast<uint32_t>(level_capacity_);
+    uint32_t idx = levels_[level].head + pos;
+    if (idx >= cap) idx -= cap;
+    return level * level_capacity_ + idx;
+  }
+  void PushBack(size_t level, Bucket b) {
+    Level& l = levels_[level];
+    arena_[Slot(level, l.count)] = b;
+    ++l.count;
+  }
+  Bucket PopFront(size_t level) {
+    Level& l = levels_[level];
+    Bucket b = arena_[level * level_capacity_ + l.head];
+    l.head = (l.head + 1 == level_capacity_) ? 0 : l.head + 1;
+    --l.count;
+    return b;
+  }
+  // Grows the arena so that `level` exists.
+  void EnsureLevel(size_t level) {
+    while (levels_.size() <= level) {
+      levels_.push_back(Level{});
+      arena_.resize(levels_.size() * level_capacity_);
+    }
+  }
+
+  // Inserts a single 1-bit at `ts` and cascades merges (unit fast path).
   void AddOne(Timestamp ts);
+  // Inserts `count` 1-bits at `ts` by closed-form cascade propagation.
+  void AddBatch(Timestamp ts, uint64_t count);
 
   double epsilon_;
   uint64_t window_len_;
@@ -125,8 +176,10 @@ class ExponentialHistogram {
   // ceil(1/eps)/2 + 2 (Datar et al. invariant with k = ceil(1/eps)).
   size_t level_capacity_;
 
-  // levels_[i] holds buckets of size 2^i, front() = oldest.
-  std::vector<std::deque<Bucket>> levels_;
+  // Flat bucket storage: level i's ring occupies the fixed slot range
+  // [i * level_capacity_, (i+1) * level_capacity_), front() = oldest.
+  std::vector<Bucket> arena_;
+  std::vector<Level> levels_;
   size_t num_buckets_ = 0;
   uint64_t total_ = 0;     // sum of sizes of held buckets
   uint64_t lifetime_ = 0;  // all arrivals ever

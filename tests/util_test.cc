@@ -76,6 +76,26 @@ TEST(HashTest, MulModMersenne61MatchesSmallCases) {
   EXPECT_EQ(PairwiseHash::MulModMersenne61(p - 1, 2), p - 2);
 }
 
+TEST(HashTest, MulModMersenne61ExactForFullWidthOperands) {
+  // Mix64 outputs span all 64 bits; the reduction must stay exact there
+  // (a single folding round is not enough — regression guard for the
+  // fast-range reduction, which needs Raw() < 2^61).
+  uint64_t p = PairwiseHash::kMersenne61;
+  EXPECT_EQ(PairwiseHash::MulModMersenne61(1ULL << 61, 1), 1u);
+  EXPECT_EQ(PairwiseHash::MulModMersenne61(~0ULL, 1), (~0ULL) % p);
+  EXPECT_EQ(PairwiseHash::MulModMersenne61(~0ULL, ~0ULL),
+            static_cast<uint64_t>((static_cast<__uint128_t>(~0ULL) *
+                                   (~0ULL)) %
+                                  p));
+}
+
+TEST(HashTest, RawStaysBelowMersenne61) {
+  PairwiseHash h(123, 456);
+  for (uint64_t k = 0; k < 20000; ++k) {
+    EXPECT_LT(h.Raw(k), PairwiseHash::kMersenne61);
+  }
+}
+
 TEST(HashTest, BucketInRange) {
   PairwiseHash h(123, 456);
   for (uint64_t k = 0; k < 1000; ++k) {
@@ -111,6 +131,64 @@ TEST(HashTest, SpreadIsRoughlyUniform) {
   for (int c : counts) {
     EXPECT_GT(c, kN / kWidth / 2);
     EXPECT_LT(c, kN / kWidth * 2);
+  }
+}
+
+TEST(HashTest, BucketsMixedAgreesWithPerRowBucket) {
+  HashFamily f(321, 5);
+  uint32_t cols[kMaxSketchDepth];
+  for (uint64_t k = 0; k < 500; ++k) {
+    f.BucketsMixed(k * 0x10001ULL, 773, cols);
+    for (int row = 0; row < f.depth(); ++row) {
+      EXPECT_EQ(cols[row], f.Bucket(row, k * 0x10001ULL, 773));
+    }
+  }
+}
+
+TEST(HashTest, ReductionVersionsDiffer) {
+  // The fast-range and modulo reductions are different mappings of the
+  // same raw hash — families must not claim compatibility across them.
+  HashFamily fast(5, 3, HashReduction::kFastRange);
+  HashFamily mod(5, 3, HashReduction::kModulo);
+  EXPECT_FALSE(fast.SameAs(mod));
+  int diff = 0;
+  for (uint64_t k = 0; k < 500; ++k) {
+    if (fast.Bucket(0, k, 1000) != mod.Bucket(0, k, 1000)) ++diff;
+  }
+  EXPECT_GT(diff, 400);
+}
+
+// Chi-square uniformity of the fast-range reduction over the buckets, for
+// sequential and adversarially structured key sets. 255 degrees of
+// freedom: chi2 above ~330 has p < 0.001, so a comfortably larger bound
+// still catches real skew (a broken reduction scores thousands).
+TEST(HashTest, FastRangeChiSquareUniform) {
+  constexpr uint32_t kWidth = 256;
+  constexpr uint64_t kN = 100'000;
+  struct KeySet {
+    const char* name;
+    uint64_t (*key)(uint64_t);
+  };
+  const KeySet sets[] = {
+      {"sequential", [](uint64_t i) { return i; }},
+      {"aligned-4k", [](uint64_t i) { return i << 12; }},
+      {"ip-like", [](uint64_t i) { return uint64_t{0x0A000000} + i; }},
+      {"high-bits", [](uint64_t i) { return i << 32; }},
+  };
+  PairwiseHash h(911, 17);
+  for (const KeySet& s : sets) {
+    std::vector<double> counts(kWidth, 0.0);
+    for (uint64_t i = 0; i < kN; ++i) {
+      uint32_t b = h.Bucket(s.key(i), kWidth, HashReduction::kFastRange);
+      ASSERT_LT(b, kWidth);
+      counts[b] += 1.0;
+    }
+    double expected = static_cast<double>(kN) / kWidth;
+    double chi2 = 0.0;
+    for (double c : counts) {
+      chi2 += (c - expected) * (c - expected) / expected;
+    }
+    EXPECT_LT(chi2, 400.0) << "key set " << s.name;
   }
 }
 

@@ -1,0 +1,182 @@
+// Weighted-add equivalence and invariant coverage for the batch insert
+// paths: Add(ts, c) must be indistinguishable from c unit Adds — exactly
+// (bit-identical serialized state) for the closed-form EH/DW batch paths,
+// and estimate-identical at the sketch level for all three counter
+// variants. Also checks the paper's invariant 1 after large weighted
+// inserts, which the O(log c) decomposition must preserve.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/core/ecm_sketch.h"
+#include "src/util/random.h"
+#include "src/window/counter_traits.h"
+
+namespace ecm {
+namespace {
+
+constexpr uint64_t kWindow = 50'000;
+
+template <typename Counter>
+std::vector<uint8_t> StateBytes(const Counter& c) {
+  ByteWriter w;
+  c.SerializeTo(&w);
+  return w.bytes();
+}
+
+// ---------------------------------------------------------------------------
+// Counter-level: the batch paths must reproduce the unit cascade exactly.
+// ---------------------------------------------------------------------------
+
+TEST(WeightedAddTest, EhBatchMatchesUnitLoopExactly) {
+  for (double eps : {0.5, 0.1, 0.02}) {
+    ExponentialHistogram batch({eps, kWindow});
+    ExponentialHistogram loop({eps, kWindow});
+    Rng rng(static_cast<uint64_t>(1000 * eps));
+    Timestamp t = 1;
+    for (int op = 0; op < 120; ++op) {
+      t += rng.Uniform(40);
+      uint64_t c = 1 + rng.Uniform(op % 4 == 0 ? 50'000 : 60);
+      batch.Add(t, c);
+      for (uint64_t i = 0; i < c; ++i) loop.Add(t, 1);
+      ASSERT_EQ(StateBytes(batch), StateBytes(loop))
+          << "eps=" << eps << " op=" << op << " c=" << c;
+    }
+    EXPECT_EQ(batch.lifetime_count(), loop.lifetime_count());
+  }
+}
+
+TEST(WeightedAddTest, DwBatchMatchesUnitLoopExactly) {
+  for (double eps : {0.5, 0.1, 0.02}) {
+    DeterministicWave batch({eps, kWindow, 1 << 18});
+    DeterministicWave loop({eps, kWindow, 1 << 18});
+    Rng rng(static_cast<uint64_t>(1000 * eps) + 7);
+    Timestamp t = 1;
+    for (int op = 0; op < 120; ++op) {
+      t += rng.Uniform(40);
+      uint64_t c = 1 + rng.Uniform(op % 4 == 0 ? 50'000 : 60);
+      batch.Add(t, c);
+      for (uint64_t i = 0; i < c; ++i) loop.Add(t, 1);
+      ASSERT_EQ(StateBytes(batch), StateBytes(loop))
+          << "eps=" << eps << " op=" << op << " c=" << c;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sketch-level: Add(key, ts, c) vs c × Add(key, ts, 1) across EH/DW/RW.
+// EH and DW are exactly equivalent; RW replays the same per-arrival
+// sampling sequence, so it too must agree — a small tolerance absorbs
+// floating-point noise only.
+// ---------------------------------------------------------------------------
+
+template <typename Counter>
+class SketchWeightedAddTest : public ::testing::Test {};
+
+using SketchCounters =
+    ::testing::Types<ExponentialHistogram, DeterministicWave, RandomizedWave>;
+TYPED_TEST_SUITE(SketchWeightedAddTest, SketchCounters);
+
+TYPED_TEST(SketchWeightedAddTest, WeightedEqualsRepeatedUnit) {
+  auto weighted = EcmSketch<TypeParam>::Create(
+      0.1, 0.1, WindowMode::kTimeBased, kWindow, /*seed=*/11,
+      OptimizeFor::kPointQueries, /*max_arrivals=*/1 << 20);
+  auto unit = EcmSketch<TypeParam>::Create(
+      0.1, 0.1, WindowMode::kTimeBased, kWindow, /*seed=*/11,
+      OptimizeFor::kPointQueries, /*max_arrivals=*/1 << 20);
+  ASSERT_TRUE(weighted.ok() && unit.ok());
+
+  Rng rng(3);
+  Timestamp t = 1;
+  std::vector<uint64_t> keys;
+  for (int op = 0; op < 300; ++op) {
+    t += 1 + rng.Uniform(10);
+    uint64_t key = rng.Uniform(50);
+    uint64_t c = 1 + rng.Uniform(op % 5 == 0 ? 8'000 : 30);
+    weighted->Add(key, t, c);
+    for (uint64_t i = 0; i < c; ++i) unit->Add(key, t, 1);
+    keys.push_back(key);
+  }
+  ASSERT_EQ(weighted->l1_lifetime(), unit->l1_lifetime());
+  for (uint64_t key : keys) {
+    for (uint64_t range : {uint64_t{500}, uint64_t{5'000}, kWindow}) {
+      double w = weighted->PointQueryAt(key, range, t);
+      double u = unit->PointQueryAt(key, range, t);
+      EXPECT_NEAR(w, u, 1e-6 * (1.0 + u))
+          << "key=" << key << " range=" << range;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 1 must survive large weighted inserts (the decomposition may
+// not splice in over-sized buckets).
+// ---------------------------------------------------------------------------
+
+TEST(WeightedAddTest, InvariantHoldsAfterLargeWeightedInserts) {
+  for (double eps : {0.2, 0.1, 0.05}) {
+    ExponentialHistogram eh({eps, 1'000'000});
+    Rng rng(static_cast<uint64_t>(eps * 10'000));
+    Timestamp t = 1;
+    for (int op = 0; op < 400; ++op) {
+      t += 1 + rng.Uniform(20);
+      eh.Add(t, 1 + rng.Uniform(100'000));
+      ASSERT_EQ(eh.CheckInvariant(), -1) << "eps=" << eps << " op=" << op;
+    }
+    // A final estimate sanity check: full-window estimate within the ε
+    // band of the retained total.
+    double est = eh.EstimateWindow(t);
+    double truth = static_cast<double>(eh.BucketTotal());
+    EXPECT_LE(std::abs(est - truth), eps * truth + 1.0);
+  }
+}
+
+TEST(WeightedAddTest, SingleHugeInsertIsOneQueryableUnit) {
+  ExponentialHistogram eh({0.1, kWindow});
+  eh.Add(100, 1'000'000);
+  EXPECT_EQ(eh.BucketTotal(), 1'000'000u);
+  EXPECT_EQ(eh.lifetime_count(), 1'000'000u);
+  EXPECT_EQ(eh.CheckInvariant(), -1);
+  // Everything arrived at t=100, so any range covering it sees the mass.
+  EXPECT_NEAR(eh.Estimate(100, kWindow), 1e6, 1e6 * 0.1 + 1.0);
+}
+
+// Weighted inserts under active expiry (window much shorter than the
+// stream). Exact state equality no longer applies — Add(ts, c) expires
+// once after all c cascades, while c unit Adds interleave expiry with the
+// cascades, which legally pairs different buckets — but both must stay
+// within the ε envelope and keep invariant 1, and full expiry must drain
+// the ring bookkeeping identically.
+TEST(WeightedAddTest, ExpiryAfterWeightedInserts) {
+  constexpr double kEps = 0.1;
+  ExponentialHistogram batch({kEps, 1'000});
+  ExponentialHistogram loop({kEps, 1'000});
+  Timestamp t = 1;
+  uint64_t in_window = 0;
+  for (int op = 0; op < 50; ++op) {
+    t += 100;
+    batch.Add(t, 997);
+    for (int i = 0; i < 997; ++i) loop.Add(t, 1);
+    ASSERT_EQ(batch.CheckInvariant(), -1) << "op=" << op;
+    ASSERT_EQ(batch.lifetime_count(), loop.lifetime_count());
+    // 10 bursts fit the window (t advances 100 per op, window 1000).
+    in_window = 997ull * std::min(op + 1, 10);
+    double truth = static_cast<double>(in_window);
+    ASSERT_NEAR(batch.Estimate(t, 1'000), truth, kEps * truth + 1.0)
+        << "op=" << op;
+    ASSERT_NEAR(loop.Estimate(t, 1'000), truth, kEps * truth + 1.0)
+        << "op=" << op;
+  }
+  Timestamp far = t + 10'000;
+  batch.Expire(far);
+  loop.Expire(far);
+  EXPECT_EQ(batch.Estimate(far, 1'000), 0.0);
+  EXPECT_EQ(batch.NumBuckets(), 0u);
+  EXPECT_EQ(loop.NumBuckets(), 0u);
+}
+
+}  // namespace
+}  // namespace ecm
