@@ -44,6 +44,10 @@ template <>
 EquiWidthWindow MakeCounter<EquiWidthWindow>() {
   return EquiWidthWindow({kWindow, 16});
 }
+template <>
+HybridHistogram MakeCounter<HybridHistogram>() {
+  return HybridHistogram({kWindow, kWindow / 20, 16});
+}
 
 template <typename Counter>
 void BM_CounterAdd(benchmark::State& state) {
@@ -60,6 +64,7 @@ BENCHMARK(BM_CounterAdd<DeterministicWave>);
 BENCHMARK(BM_CounterAdd<RandomizedWave>);
 BENCHMARK(BM_CounterAdd<ExactWindow>);
 BENCHMARK(BM_CounterAdd<EquiWidthWindow>);
+BENCHMARK(BM_CounterAdd<HybridHistogram>);
 
 // Weighted arrivals: one Add(ts, c) call per iteration. items processed
 // counts the c underlying events, so events/s is comparable with the
@@ -77,7 +82,24 @@ void BM_CounterAddWeighted(benchmark::State& state) {
 }
 BENCHMARK(BM_CounterAddWeighted<ExponentialHistogram>)->Arg(100)->Arg(10000);
 BENCHMARK(BM_CounterAddWeighted<DeterministicWave>)->Arg(100)->Arg(10000);
+BENCHMARK(BM_CounterAddWeighted<RandomizedWave>)->Arg(100)->Arg(10000);
 BENCHMARK(BM_CounterAddWeighted<EquiWidthWindow>)->Arg(100)->Arg(10000);
+BENCHMARK(BM_CounterAddWeighted<HybridHistogram>)->Arg(100)->Arg(10000);
+
+// Pre-batch-sampler baseline for the randomized wave: a weighted arrival
+// decomposed into per-arrival unit Adds (what Add(ts, c) used to cost).
+// Contrast with BM_CounterAddWeighted<RandomizedWave> at the same weight.
+void BM_RwAddWeightedPerArrival(benchmark::State& state) {
+  RandomizedWave counter = MakeCounter<RandomizedWave>();
+  const uint64_t weight = static_cast<uint64_t>(state.range(0));
+  Timestamp t = 1;
+  for (auto _ : state) {
+    for (uint64_t i = 0; i < weight; ++i) counter.Add(t, 1);
+    t += 2;
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(weight));
+}
+BENCHMARK(BM_RwAddWeightedPerArrival)->Arg(100)->Arg(10000);
 
 template <typename Counter>
 void BM_CounterEstimate(benchmark::State& state) {
@@ -115,6 +137,8 @@ void BM_EcmAdd(benchmark::State& state) {
 BENCHMARK(BM_EcmAdd<ExponentialHistogram>);
 BENCHMARK(BM_EcmAdd<DeterministicWave>);
 BENCHMARK(BM_EcmAdd<RandomizedWave>);
+BENCHMARK(BM_EcmAdd<EquiWidthWindow>);
+BENCHMARK(BM_EcmAdd<HybridHistogram>);
 
 template <typename Counter>
 void BM_EcmAddWeighted(benchmark::State& state) {
@@ -132,6 +156,9 @@ void BM_EcmAddWeighted(benchmark::State& state) {
 }
 BENCHMARK(BM_EcmAddWeighted<ExponentialHistogram>)->Arg(100)->Arg(10000);
 BENCHMARK(BM_EcmAddWeighted<DeterministicWave>)->Arg(100)->Arg(10000);
+BENCHMARK(BM_EcmAddWeighted<RandomizedWave>)->Arg(100)->Arg(10000);
+BENCHMARK(BM_EcmAddWeighted<EquiWidthWindow>)->Arg(100)->Arg(10000);
+BENCHMARK(BM_EcmAddWeighted<HybridHistogram>)->Arg(100)->Arg(10000);
 
 template <typename Counter>
 void BM_EcmPointQuery(benchmark::State& state) {

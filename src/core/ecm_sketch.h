@@ -26,6 +26,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -72,6 +73,31 @@ template <>
 inline ExactWindow::Config MakeCounterConfig<ExactWindow>(
     const EcmConfig& cfg) {
   return ExactWindow::Config{cfg.window_len};
+}
+
+/// Equi-width baseline: spend the window-error budget on ring granularity
+/// — B = ceil(1/ε_sw) sub-windows, the natural memory-matched
+/// configuration against an ε_sw exponential histogram.
+template <>
+inline EquiWidthWindow::Config MakeCounterConfig<EquiWidthWindow>(
+    const EcmConfig& cfg) {
+  auto subwindows = static_cast<uint32_t>(
+      std::ceil(1.0 / (cfg.epsilon_sw > 0 ? cfg.epsilon_sw : 0.1)));
+  return EquiWidthWindow::Config{cfg.window_len, subwindows};
+}
+
+/// Hybrid baseline: exact resolution over the most recent 5% of the
+/// window, ε_sw-granular equi-width tail — the natural memory-comparable
+/// configuration against an ε_sw exponential histogram.
+template <>
+inline HybridHistogram::Config MakeCounterConfig<HybridHistogram>(
+    const EcmConfig& cfg) {
+  HybridHistogram::Config c;
+  c.window_len = cfg.window_len;
+  c.exact_len = std::max<uint64_t>(1, cfg.window_len / 20);
+  c.num_subwindows = static_cast<uint32_t>(
+      std::ceil(1.0 / (cfg.epsilon_sw > 0 ? cfg.epsilon_sw : 0.1)));
+  return c;
 }
 
 /// Count-Min sketch over sliding windows, templated on the window counter.

@@ -1,5 +1,7 @@
 #include "src/util/random.h"
 
+#include <bit>
+
 #include "src/util/hash.h"
 
 namespace ecm {
@@ -50,6 +52,18 @@ int Rng::GeometricLevel(int max_level) {
   int level = 0;
   while (level < max_level && (Next() & 1)) ++level;
   return level;
+}
+
+uint64_t Rng::BinomialHalf(uint64_t n) {
+  uint64_t heads = 0;
+  while (n >= 64) {
+    heads += static_cast<uint64_t>(std::popcount(Next()));
+    n -= 64;
+  }
+  if (n > 0) {
+    heads += static_cast<uint64_t>(std::popcount(Next() & ((1ULL << n) - 1)));
+  }
+  return heads;
 }
 
 }  // namespace ecm

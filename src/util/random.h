@@ -43,6 +43,13 @@ class Rng {
   /// i.e. returns l with probability 2^-(l+1), capped at `max_level`.
   int GeometricLevel(int max_level);
 
+  /// Exact Binomial(n, 1/2) draw: the number of heads among n fair coin
+  /// flips, computed 64 flips at a time via popcount. For n == 1 this
+  /// consumes exactly one Next() and returns its low bit — the same coin
+  /// GeometricLevel flips — so per-level binomial thinning of a single
+  /// arrival is bit-identical to the per-arrival geometric draw.
+  uint64_t BinomialHalf(uint64_t n);
+
  private:
   uint64_t s_[4];
 };

@@ -12,8 +12,10 @@
 #include <type_traits>
 
 #include "src/window/deterministic_wave.h"
+#include "src/window/equiwidth_window.h"
 #include "src/window/exact_window.h"
 #include "src/window/exponential_histogram.h"
+#include "src/window/hybrid_histogram.h"
 #include "src/window/randomized_wave.h"
 #include "src/window/window_spec.h"
 
@@ -46,6 +48,8 @@ static_assert(SlidingWindowCounter<ExponentialHistogram>);
 static_assert(SlidingWindowCounter<DeterministicWave>);
 static_assert(SlidingWindowCounter<RandomizedWave>);
 static_assert(SlidingWindowCounter<ExactWindow>);
+static_assert(SlidingWindowCounter<EquiWidthWindow>);
+static_assert(SlidingWindowCounter<HybridHistogram>);
 static_assert(BucketExportingCounter<ExponentialHistogram>);
 static_assert(BucketExportingCounter<DeterministicWave>);
 static_assert(BucketExportingCounter<ExactWindow>);
@@ -57,6 +61,8 @@ constexpr std::string_view CounterName() {
   if constexpr (std::is_same_v<C, DeterministicWave>) return "DW";
   if constexpr (std::is_same_v<C, RandomizedWave>) return "RW";
   if constexpr (std::is_same_v<C, ExactWindow>) return "EXACT";
+  if constexpr (std::is_same_v<C, EquiWidthWindow>) return "EQW";
+  if constexpr (std::is_same_v<C, HybridHistogram>) return "HYB";
   return "?";
 }
 

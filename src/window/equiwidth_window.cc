@@ -1,4 +1,4 @@
-#include "src/core/equiwidth_cm.h"
+#include "src/window/equiwidth_window.h"
 
 #include <algorithm>
 #include <cassert>

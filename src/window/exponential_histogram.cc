@@ -23,6 +23,23 @@ ExponentialHistogram::ExponentialHistogram(const Config& config)
   level_capacity_ = static_cast<size_t>(k) + 2;
 }
 
+void ExponentialHistogram::Grow(Level* l) {
+  // Geometric segment growth, capped at the ring bound. The cascade never
+  // holds more than level_capacity_ buckets in a level, so a full segment
+  // at the cap is unreachable here.
+  size_t new_cap = std::min(std::max<size_t>(2 * l->slots.size(), 8),
+                            level_capacity_ + 1);
+  std::vector<Bucket> grown(new_cap);
+  uint32_t old_cap = static_cast<uint32_t>(l->slots.size());
+  for (uint32_t j = 0; j < l->count; ++j) {
+    uint32_t idx = l->head + j;
+    if (idx >= old_cap) idx -= old_cap;
+    grown[j] = l->slots[idx];
+  }
+  l->slots = std::move(grown);
+  l->head = 0;
+}
+
 void ExponentialHistogram::AddOne(Timestamp ts) {
   ++num_buckets_;
   EnsureLevel(0);
@@ -194,9 +211,15 @@ double ExponentialHistogram::Estimate(Timestamp now, uint64_t range) const {
   return sum;
 }
 
+size_t ExponentialHistogram::AllocatedSlots() const {
+  size_t slots = 0;
+  for (const Level& l : levels_) slots += l.slots.size();
+  return slots;
+}
+
 size_t ExponentialHistogram::MemoryBytes() const {
   size_t bytes = sizeof(*this);
-  bytes += arena_.capacity() * sizeof(Bucket);
+  bytes += AllocatedSlots() * sizeof(Bucket);
   bytes += levels_.capacity() * sizeof(Level);
   return bytes;
 }
@@ -241,10 +264,6 @@ int ExponentialHistogram::CheckInvariant() const {
 
 namespace {
 constexpr uint8_t kEhMagic = 0xE1;
-// Deserialization bound on the preallocated arena (slots = levels × level
-// capacity). Real configurations sit far below this; a corrupt epsilon
-// must not be able to request a multi-gigabyte allocation.
-constexpr uint64_t kMaxDeserializeSlots = 1ULL << 22;
 }  // namespace
 
 void ExponentialHistogram::SerializeTo(ByteWriter* w) const {
@@ -296,11 +315,10 @@ Result<ExponentialHistogram> ExponentialHistogram::Deserialize(
   if (*num_levels > 64) {
     return Status::Corruption("exponential histogram claims > 64 levels");
   }
-  if (*num_levels * static_cast<uint64_t>(eh.level_capacity_) >
-      kMaxDeserializeSlots) {
-    return Status::Corruption("exponential histogram claims implausible "
-                              "level capacity");
-  }
+  // Segment growth allocates in proportion to buckets actually decoded
+  // (each costs at least one payload byte), so a hostile tiny-epsilon
+  // header cannot request a large allocation up front; the per-level
+  // count bound below rejects over-capacity levels.
   if (*num_levels > 0) eh.EnsureLevel(*num_levels - 1);
   for (size_t i = 0; i < *num_levels; ++i) {
     auto count = r->GetVarint();

@@ -13,11 +13,13 @@
 //
 // Storage follows the layout the paper found fastest (§7.1) — the bucket
 // list is split into levels L0, L1, ..., level i holding only buckets of
-// size 2^i — but instead of one deque per level the buckets live in a
-// single contiguous arena with `level_capacity_` ring-buffer slots per
-// level (head/count indices, level count grown lazily). A bucket is then
-// one 8-byte timestamp, pushes and pops never touch the allocator, and a
-// level is a cache-line-friendly slice instead of scattered deque chunks.
+// size 2^i — with each level's buckets in a contiguous ring-buffer
+// segment (head/count indices). A bucket is one 8-byte timestamp and
+// steady-state pushes and pops never touch the allocator. Segments grow
+// geometrically up to the `level_capacity_` ring bound as buckets
+// actually arrive, so tiny-ε configurations (level capacity in the
+// millions) no longer pay a full `levels × level_capacity_` preallocation
+// for mostly-empty levels.
 //
 // Weighted arrivals: Add(ts, count) costs O(log(count) + level_capacity_)
 // bucket operations, not O(count). The batch insert propagates the unit
@@ -96,7 +98,12 @@ class ExponentialHistogram {
   /// Number of buckets currently held.
   size_t NumBuckets() const { return num_buckets_; }
 
-  /// Approximate in-memory footprint in bytes (arena + level directory).
+  /// Total ring slots currently allocated across all level segments —
+  /// the segmented-growth regression hook: stays proportional to buckets
+  /// actually held, not to levels × level_capacity_.
+  size_t AllocatedSlots() const;
+
+  /// Approximate in-memory footprint in bytes (segments + directory).
   size_t MemoryBytes() const;
 
   /// Snapshot of all buckets, oldest first, with reconstructed start
@@ -128,41 +135,46 @@ class ExponentialHistogram {
   struct Bucket {
     Timestamp end;  // timestamp of the newest 1-bit in the bucket
   };
-  // Ring-buffer directory entry for one level; the level's slots are
-  // arena_[i * level_capacity_ .. (i+1) * level_capacity_).
+  // One level's ring-buffer segment. `slots` is the segment storage; its
+  // size is the current ring capacity, grown geometrically (by Grow) up to
+  // level_capacity_ as the level actually fills.
   struct Level {
-    uint32_t head = 0;   // arena slot offset of the oldest bucket
+    uint32_t head = 0;   // slot index of the oldest bucket
     uint32_t count = 0;  // buckets held (< level_capacity_ between Adds)
+    std::vector<Bucket> slots;
   };
 
   // --- ring-buffer primitives -------------------------------------------
   const Bucket& At(size_t level, uint32_t pos) const {
-    return arena_[Slot(level, pos)];
-  }
-  size_t Slot(size_t level, uint32_t pos) const {
-    uint32_t cap = static_cast<uint32_t>(level_capacity_);
-    uint32_t idx = levels_[level].head + pos;
+    const Level& l = levels_[level];
+    uint32_t cap = static_cast<uint32_t>(l.slots.size());
+    uint32_t idx = l.head + pos;
     if (idx >= cap) idx -= cap;
-    return level * level_capacity_ + idx;
+    return l.slots[idx];
   }
+  // Re-linearizes the ring into a segment of at least `count + 1` slots,
+  // doubling up to the level_capacity_ bound.
+  void Grow(Level* l);
   void PushBack(size_t level, Bucket b) {
     Level& l = levels_[level];
-    arena_[Slot(level, l.count)] = b;
+    if (l.count == l.slots.size()) Grow(&l);
+    uint32_t cap = static_cast<uint32_t>(l.slots.size());
+    uint32_t idx = l.head + l.count;
+    if (idx >= cap) idx -= cap;
+    l.slots[idx] = b;
     ++l.count;
   }
   Bucket PopFront(size_t level) {
     Level& l = levels_[level];
-    Bucket b = arena_[level * level_capacity_ + l.head];
-    l.head = (l.head + 1 == level_capacity_) ? 0 : l.head + 1;
+    Bucket b = l.slots[l.head];
+    l.head = (l.head + 1 == l.slots.size()) ? 0 : l.head + 1;
     --l.count;
     return b;
   }
-  // Grows the arena so that `level` exists.
+  // Grows the level directory so that `level` exists (no slot storage is
+  // allocated until the level receives its first bucket).
   void EnsureLevel(size_t level) {
-    while (levels_.size() <= level) {
-      levels_.push_back(Level{});
-      arena_.resize(levels_.size() * level_capacity_);
-    }
+    if (levels_.size() <= level) levels_.resize(level + 1);
   }
 
   // Inserts a single 1-bit at `ts` and cascades merges (unit fast path).
@@ -176,9 +188,6 @@ class ExponentialHistogram {
   // ceil(1/eps)/2 + 2 (Datar et al. invariant with k = ceil(1/eps)).
   size_t level_capacity_;
 
-  // Flat bucket storage: level i's ring occupies the fixed slot range
-  // [i * level_capacity_, (i+1) * level_capacity_), front() = oldest.
-  std::vector<Bucket> arena_;
   std::vector<Level> levels_;
   size_t num_buckets_ = 0;
   uint64_t total_ = 0;     // sum of sizes of held buckets

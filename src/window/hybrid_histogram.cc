@@ -26,6 +26,15 @@ void HybridHistogram::AddToTail(Timestamp ts, uint64_t count) {
   slots_[idx] += count;
 }
 
+void HybridHistogram::DemoteAged(Timestamp now) {
+  // Exact entries older than exact_len demote into the equi-width tail.
+  Timestamp exact_start = WindowStart(now, exact_len_);
+  while (!exact_.empty() && exact_.front().ts <= exact_start) {
+    AddToTail(exact_.front().ts, exact_.front().count);
+    exact_.pop_front();
+  }
+}
+
 void HybridHistogram::Add(Timestamp ts, uint64_t count) {
   assert(ts >= last_ts_ && "timestamps must be non-decreasing");
   last_ts_ = ts;
@@ -35,16 +44,15 @@ void HybridHistogram::Add(Timestamp ts, uint64_t count) {
   } else {
     exact_.push_back(Run{ts, count});
   }
-  Expire(ts);
+  // Hot path stays O(1) amortized: only demote aged exact runs. Expired
+  // tail slots need no eager zeroing — Estimate() filters them by epoch
+  // and AddToTail() resets a slot when its ring epoch advances — so the
+  // full ring scan is reserved for the explicit Expire() entry point.
+  DemoteAged(ts);
 }
 
 void HybridHistogram::Expire(Timestamp now) {
-  // Exact entries older than exact_len demote into the equi-width tail.
-  Timestamp exact_start = WindowStart(now, exact_len_);
-  while (!exact_.empty() && exact_.front().ts <= exact_start) {
-    AddToTail(exact_.front().ts, exact_.front().count);
-    exact_.pop_front();
-  }
+  DemoteAged(now);
   // Tail slots fully outside the window are dropped.
   Timestamp wstart = WindowStart(now, window_len_);
   for (size_t i = 0; i < slots_.size(); ++i) {

@@ -11,7 +11,8 @@
 // hybrid wins on very recent ranges, loses its guarantees on older ones,
 // and cannot be merged.
 //
-// Satisfies SlidingWindowCounter, so EcmSketch<HybridHistogram> works.
+// Satisfies SlidingWindowCounter; the EcmSketch<HybridHistogram> baseline
+// sketch type lives in core/equiwidth_cm.h.
 
 #ifndef ECM_WINDOW_HYBRID_HISTOGRAM_H_
 #define ECM_WINDOW_HYBRID_HISTOGRAM_H_
@@ -51,6 +52,10 @@ class HybridHistogram {
   uint64_t lifetime_count() const { return lifetime_; }
   uint64_t window_len() const { return window_len_; }
   Timestamp last_timestamp() const { return last_ts_; }
+  /// Span kept at exact resolution behind the newest arrival.
+  uint64_t exact_len() const { return exact_len_; }
+  /// Ticks covered per equi-width tail slot (error-bound hook for tests).
+  uint64_t span() const { return span_; }
   size_t MemoryBytes() const;
 
   /// Number of runs currently in the exact buffer (test hook).
@@ -67,6 +72,8 @@ class HybridHistogram {
   }
   Timestamp SlotEpoch(Timestamp ts) const { return (ts / span_) * span_; }
   void AddToTail(Timestamp ts, uint64_t count);
+  /// Migrates exact runs that aged past `exact_len` into the tail.
+  void DemoteAged(Timestamp now);
 
   uint64_t window_len_;
   uint64_t exact_len_;
@@ -77,28 +84,6 @@ class HybridHistogram {
   uint64_t lifetime_ = 0;
   Timestamp last_ts_ = 0;
 };
-
-}  // namespace ecm
-
-#include <cmath>
-
-#include "src/core/ecm_sketch.h"
-
-namespace ecm {
-
-/// EcmSketch<HybridHistogram> support: exact resolution over the most
-/// recent 5% of the window, ε_sw-granular equi-width tail — the natural
-/// memory-comparable configuration against an ε_sw exponential histogram.
-template <>
-inline HybridHistogram::Config MakeCounterConfig<HybridHistogram>(
-    const EcmConfig& cfg) {
-  HybridHistogram::Config c;
-  c.window_len = cfg.window_len;
-  c.exact_len = std::max<uint64_t>(1, cfg.window_len / 20);
-  c.num_subwindows = static_cast<uint32_t>(
-      std::ceil(1.0 / (cfg.epsilon_sw > 0 ? cfg.epsilon_sw : 0.1)));
-  return c;
-}
 
 }  // namespace ecm
 

@@ -70,24 +70,26 @@ Result<DeterministicWave> MergeWaves(
 
 namespace {
 
-// Extends a sub-wave's sampling hierarchy past its stored top level:
-// entries at the source level survive to each further level with
-// probability 1/2 (seeded, so merges are reproducible). Returns the
-// simulated levels (top_stored+1 .. target_levels-1).
-std::vector<std::vector<Timestamp>> ExtendLevels(
-    const std::deque<Timestamp>& top_level, int levels_to_add, Rng* rng) {
-  std::vector<std::vector<Timestamp>> out;
-  std::vector<Timestamp> current(top_level.begin(), top_level.end());
+using RwSample = RandomizedWave::Sample;
+
+// Extends a sub-wave's sampling hierarchy past its stored top level: each
+// retained sample survives each further level with probability 1/2,
+// drawn per run as Binomial(count, 1/2) (seeded, so merges are
+// reproducible; distributionally identical to per-sample coin flips).
+// Returns the runs simulated at level top_stored + levels_to_add.
+std::vector<RwSample> ExtendLevels(const std::deque<RwSample>& top_level,
+                                   int levels_to_add, Rng* rng) {
+  std::vector<RwSample> current(top_level.begin(), top_level.end());
   for (int i = 0; i < levels_to_add; ++i) {
-    std::vector<Timestamp> next;
-    next.reserve(current.size() / 2 + 1);
-    for (Timestamp ts : current) {
-      if (rng->Bernoulli(0.5)) next.push_back(ts);
+    std::vector<RwSample> next;
+    next.reserve(current.size());
+    for (const RwSample& s : current) {
+      uint64_t kept = rng->BinomialHalf(s.count);
+      if (kept > 0) next.push_back(RwSample{s.ts, kept});
     }
-    out.push_back(next);
     current = std::move(next);
   }
-  return out;
+  return current;
 }
 
 }  // namespace
@@ -130,7 +132,7 @@ Result<RandomizedWave> MergeRandomizedWaves(
   for (int s = 0; s < first.num_subwaves(); ++s) {
     auto& out_sw = merged.mutable_subwaves()[s];
     for (int l = 0; l < merged.num_levels(); ++l) {
-      std::vector<Timestamp> entries;
+      std::vector<RwSample> entries;
       bool truncated = false;
       for (const auto* rw : inputs) {
         const auto& in_sw = rw->subwaves()[s];
@@ -141,19 +143,46 @@ Result<RandomizedWave> MergeRandomizedWaves(
           truncated = truncated || in_sw.truncated[l];
         } else {
           // Input provisioned fewer levels: sub-sample its top level on.
-          auto ext = ExtendLevels(in_sw.levels[in_top], l - in_top, &rng);
-          const auto& sim = ext.back();
+          auto sim = ExtendLevels(in_sw.levels[in_top], l - in_top, &rng);
           entries.insert(entries.end(), sim.begin(), sim.end());
           truncated = truncated || in_sw.truncated[in_top];
         }
       }
-      std::sort(entries.begin(), entries.end());
-      if (entries.size() > capacity) {
-        entries.erase(entries.begin(),
-                      entries.begin() + (entries.size() - capacity));
-        truncated = true;
+      std::sort(entries.begin(), entries.end(),
+                [](const RwSample& a, const RwSample& b) {
+                  return a.ts < b.ts;
+                });
+      // Coalesce equal timestamps across inputs and total the samples.
+      std::vector<RwSample> runs;
+      uint64_t total = 0;
+      for (const RwSample& s2 : entries) {
+        total += s2.count;
+        if (!runs.empty() && runs.back().ts == s2.ts) {
+          runs.back().count += s2.count;
+        } else {
+          runs.push_back(s2);
+        }
       }
-      out_sw.levels[l].assign(entries.begin(), entries.end());
+      if (total > capacity) {
+        // Keep the most recent `capacity` samples.
+        uint64_t excess = total - capacity;
+        truncated = true;
+        size_t keep_from = 0;
+        while (excess > 0 && keep_from < runs.size()) {
+          if (runs[keep_from].count <= excess) {
+            excess -= runs[keep_from].count;
+            ++keep_from;
+          } else {
+            runs[keep_from].count -= excess;
+            excess = 0;
+          }
+        }
+        runs.erase(runs.begin(),
+                   runs.begin() + static_cast<ptrdiff_t>(keep_from));
+        total = capacity;
+      }
+      out_sw.levels[l].assign(runs.begin(), runs.end());
+      out_sw.sizes[l] = total;
       out_sw.truncated[l] = truncated;
     }
   }

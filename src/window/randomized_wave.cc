@@ -36,24 +36,56 @@ RandomizedWave::RandomizedWave(const Config& config)
   subwaves_.resize(d);
   for (auto& sw : subwaves_) {
     sw.levels.resize(num_levels_);
+    sw.sizes.assign(num_levels_, 0);
     sw.truncated.assign(num_levels_, false);
   }
+}
+
+void RandomizedWave::PushSamples(SubWave* sw, int level, Timestamp ts,
+                                 uint64_t n) {
+  auto& runs = sw->levels[level];
+  if (!runs.empty() && runs.back().ts == ts) {
+    runs.back().count += n;
+  } else {
+    runs.push_back(Sample{ts, n});
+  }
+  uint64_t size = sw->sizes[level] + n;
+  if (size > level_capacity_) {
+    // Evict the oldest samples; identical end state to per-sample
+    // push/pop-front interleaving.
+    uint64_t excess = size - level_capacity_;
+    sw->truncated[level] = true;
+    while (excess > 0) {
+      Sample& front = runs.front();
+      if (front.count <= excess) {
+        excess -= front.count;
+        runs.pop_front();
+      } else {
+        front.count -= excess;
+        excess = 0;
+      }
+    }
+    size = level_capacity_;
+  }
+  sw->sizes[level] = size;
 }
 
 void RandomizedWave::Add(Timestamp ts, uint64_t count) {
   assert(ts >= last_ts_ && "timestamps must be non-decreasing");
   last_ts_ = ts;
-  for (uint64_t i = 0; i < count; ++i) {
-    ++lifetime_;
-    for (auto& sw : subwaves_) {
-      int g = rng_.GeometricLevel(num_levels_ - 1);
-      for (int l = 0; l <= g; ++l) {
-        sw.levels[l].push_back(ts);
-        if (sw.levels[l].size() > level_capacity_) {
-          sw.levels[l].pop_front();
-          sw.truncated[l] = true;
-        }
-      }
+  lifetime_ += count;
+  for (auto& sw : subwaves_) {
+    // Binomial-split chain: n_0 = count arrivals reach level 0; of the n_l
+    // reaching level l, Binomial(n_l, 1/2) survive the next fair coin and
+    // reach level l+1 — jointly distributed exactly as `count` independent
+    // geometric draws, at O(log count) splits (~count/32 coin words)
+    // total. For count == 1 the chain consumes the very coins
+    // GeometricLevel would.
+    uint64_t n = count;
+    for (int l = 0; n > 0; ++l) {
+      PushSamples(&sw, l, ts, n);
+      if (l + 1 >= num_levels_) break;
+      n = rng_.BinomialHalf(n);
     }
   }
   Expire(ts);
@@ -62,13 +94,34 @@ void RandomizedWave::Add(Timestamp ts, uint64_t count) {
 void RandomizedWave::Expire(Timestamp now) {
   Timestamp wstart = WindowStart(now, window_len_);
   for (auto& sw : subwaves_) {
-    for (int l = 0; l < num_levels_; ++l) {
-      auto& level = sw.levels[l];
-      // Keep one entry at or before the window start as coverage anchor.
-      while (level.size() > 1 && level[1] <= wstart) {
-        level.pop_front();
+    // At capacity, a level retains the last-c samples of its substream,
+    // and level l+1 samples a subset of level l's pushes — so retained
+    // fronts age with the level index, and once a non-empty level has
+    // nothing to trim the (newer) levels below it cannot either. The
+    // top-down early exit makes the steady-state scan O(levels that
+    // actually expire). Pre-capacity warm-up can briefly leave expired
+    // samples behind, which only delays their reclamation: estimates
+    // exclude out-of-range samples regardless.
+    for (int l = num_levels_; l-- > 0;) {
+      auto& runs = sw.levels[l];
+      bool trimmed = false;
+      // Keep one sample at or before the window start as coverage anchor.
+      while (runs.size() > 1 && runs[1].ts <= wstart) {
+        sw.sizes[l] -= runs.front().count;
+        runs.pop_front();
         sw.truncated[l] = true;
+        trimmed = true;
       }
+      if (!runs.empty() && runs.front().ts <= wstart &&
+          runs.front().count > 1) {
+        // Shrink a weighted anchor run to the single sample the
+        // per-sample pop loop would have kept.
+        sw.sizes[l] -= runs.front().count - 1;
+        runs.front().count = 1;
+        sw.truncated[l] = true;
+        trimmed = true;
+      }
+      if (!trimmed && !runs.empty()) break;
     }
   }
 }
@@ -82,19 +135,19 @@ double RandomizedWave::EstimateSubWave(int idx, Timestamp now,
   for (int l = 0; l < num_levels_; ++l) {
     const auto& level = sw.levels[l];
     bool covers =
-        !sw.truncated[l] || (!level.empty() && level.front() <= boundary);
+        !sw.truncated[l] || (!level.empty() && level.front().ts <= boundary);
     if (!covers) continue;
     // Number of sampled arrivals strictly inside the range.
     auto it = std::partition_point(
         level.begin(), level.end(),
-        [boundary](Timestamp t) { return t <= boundary; });
-    auto in_range = static_cast<double>(level.end() - it);
-    return in_range * static_cast<double>(1ULL << l);
+        [boundary](const Sample& s) { return s.ts <= boundary; });
+    uint64_t in_range = 0;
+    for (; it != level.end(); ++it) in_range += it->count;
+    return static_cast<double>(in_range) * static_cast<double>(1ULL << l);
   }
   // No level covers the boundary (possible only under adversarial
   // truncation); the coarsest level is the best effort.
-  const auto& top = sw.levels[num_levels_ - 1];
-  return static_cast<double>(top.size()) *
+  return static_cast<double>(sw.sizes[num_levels_ - 1]) *
          static_cast<double>(1ULL << (num_levels_ - 1));
 }
 
@@ -114,9 +167,9 @@ size_t RandomizedWave::MemoryBytes() const {
   size_t bytes = sizeof(*this);
   for (const auto& sw : subwaves_) {
     bytes += sw.levels.size() *
-             (sizeof(std::deque<Timestamp>) + sizeof(bool));
+             (sizeof(std::deque<Sample>) + sizeof(uint64_t) + sizeof(bool));
     for (const auto& level : sw.levels) {
-      bytes += level.size() * sizeof(Timestamp);
+      bytes += level.size() * sizeof(Sample);
     }
   }
   return bytes;
@@ -139,11 +192,14 @@ void RandomizedWave::SerializeTo(ByteWriter* w) const {
   for (const SubWave& sw : subwaves_) {
     for (int l = 0; l < num_levels_; ++l) {
       w->PutFixed<uint8_t>(sw.truncated[l] ? 1 : 0);
-      w->PutVarint(sw.levels[l].size());
+      // Runs expand to one delta per retained sample (zero deltas within a
+      // run) — byte-identical to the pre-run-compression encoding.
+      w->PutVarint(sw.sizes[l]);
       Timestamp prev = 0;
-      for (Timestamp ts : sw.levels[l]) {
-        w->PutVarint(ts - prev);
-        prev = ts;
+      for (const Sample& s : sw.levels[l]) {
+        w->PutVarint(s.ts - prev);
+        for (uint64_t i = 1; i < s.count; ++i) w->PutVarint(0);
+        prev = s.ts;
       }
     }
   }
@@ -184,6 +240,7 @@ Result<RandomizedWave> RandomizedWave::Deserialize(ByteReader* r) {
   rw.subwaves_.assign(*num_subwaves, SubWave{});
   for (auto& sw : rw.subwaves_) {
     sw.levels.resize(rw.num_levels_);
+    sw.sizes.assign(rw.num_levels_, 0);
     sw.truncated.assign(rw.num_levels_, false);
   }
 
@@ -201,13 +258,22 @@ Result<RandomizedWave> RandomizedWave::Deserialize(ByteReader* r) {
       sw.truncated[l] = (*truncated != 0);
       auto count = r->GetVarint();
       if (!count.ok()) return count.status();
+      if (*count > rw.level_capacity_) {
+        return Status::Corruption("randomized-wave level over capacity");
+      }
       Timestamp prev = 0;
       for (uint64_t i = 0; i < *count; ++i) {
         auto delta_ts = r->GetVarint();
         if (!delta_ts.ok()) return delta_ts.status();
         prev += *delta_ts;
-        sw.levels[l].push_back(prev);
+        auto& runs = sw.levels[l];
+        if (!runs.empty() && runs.back().ts == prev) {
+          ++runs.back().count;
+        } else {
+          runs.push_back(Sample{prev, 1});
+        }
       }
+      sw.sizes[l] = *count;
     }
   }
   return rw;

@@ -10,6 +10,20 @@
 // independent sub-waves and taking the median of the estimates drives the
 // failure probability below δ.
 //
+// Weighted arrivals use binomial-split batch sampling: the number of the
+// c arrivals reaching level l+1 given the n_l that reached level l is
+// Binomial(n_l, 1/2), so Add(ts, c) draws the whole per-level sample-count
+// chain in O(log c) exact binomial splits (Rng::BinomialHalf). Each split
+// popcounts ceil(n_l / 64) fair-coin words, so the chain costs ~c/32 Rng
+// words in total — a 64x constant-factor cut over the c independent
+// geometric draws (each ~2 words) plus the elimination of the per-arrival
+// deque traffic. The chain has exactly the joint distribution of c
+// per-arrival draws, and for c == 1 it consumes the very same coins, so
+// unit streams are bit-identical to the per-arrival path. Retained samples
+// are run-length compressed (all c samples of one arrival share a
+// timestamp), which also makes the capacity ring update O(1) amortized per
+// level.
+//
 // The point of carrying this Θ(1/ε²)-space structure alongside the
 // deterministic synopses is the paper's central trade-off: randomized
 // waves merge *losslessly* (§5.2) but cost one to two orders of magnitude
@@ -50,6 +64,10 @@ class RandomizedWave {
   explicit RandomizedWave(const Config& config);
 
   /// Registers `count` arrivals at timestamp `ts` (non-decreasing, >= 1).
+  /// Costs O(count / 64 + levels) coin words per sub-wave via
+  /// binomial-split batch sampling (see the file comment);
+  /// distributionally identical to `count` unit calls, and bit-identical
+  /// to the per-arrival path for count == 1.
   void Add(Timestamp ts, uint64_t count = 1);
 
   /// Median-of-sub-waves estimate of the arrivals in (now - range, now].
@@ -72,13 +90,22 @@ class RandomizedWave {
   size_t level_capacity() const { return level_capacity_; }
   Timestamp last_timestamp() const { return last_ts_; }
 
+  /// A run of retained samples: `count` arrivals all stamped `ts`.
+  struct Sample {
+    Timestamp ts;
+    uint64_t count;
+  };
+
   /// One independent sampling structure. Public so the §5.2 merge
   /// (window/merge.h) can unite per-level samples across waves.
   struct SubWave {
-    /// levels[l] = timestamps of retained arrivals with geometric level
-    /// >= l, oldest first, capped at the wave's level capacity.
-    std::vector<std::deque<Timestamp>> levels;
-    /// True once level l has dropped an entry (capacity or expiry): the
+    /// levels[l] = run-length-compressed timestamps of retained arrivals
+    /// with geometric level >= l, oldest first; total sample count per
+    /// level is capped at the wave's level capacity.
+    std::vector<std::deque<Sample>> levels;
+    /// sizes[l] = total retained samples at level l (Σ run counts).
+    std::vector<uint64_t> sizes;
+    /// True once level l has dropped a sample (capacity or expiry): the
     /// sample no longer reaches arbitrarily far left.
     std::vector<bool> truncated;
   };
@@ -100,6 +127,10 @@ class RandomizedWave {
   static Result<RandomizedWave> Deserialize(ByteReader* r);
 
  private:
+  // Appends `n` samples stamped `ts` to `level` of `sw`, merging into the
+  // newest run and evicting oldest samples past the level capacity.
+  void PushSamples(SubWave* sw, int level, Timestamp ts, uint64_t n);
+
   double epsilon_;
   double delta_;
   uint64_t window_len_;

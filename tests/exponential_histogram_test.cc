@@ -279,5 +279,48 @@ TEST(ExponentialHistogramTest, LifetimeCountsEverything) {
   EXPECT_LT(eh.BucketTotal(), 30u);       // window keeps only ~10
 }
 
+// Segmented arena growth regression: a tiny-ε histogram has a per-level
+// ring bound (level_capacity_) in the millions, but slot storage must
+// track the buckets actually held — geometric doubling, not an upfront
+// levels × level_capacity_ preallocation.
+TEST(ExponentialHistogramTest, SegmentedArenaAllocatesOnDemand) {
+  ExponentialHistogram eh({1e-6, 1'000'000});
+  EXPECT_EQ(eh.AllocatedSlots(), 0u);
+  Timestamp t = 1;
+  for (int i = 0; i < 1000; ++i) eh.Add(++t);
+  // ε=1e-6 never merges 1000 arrivals: level 0 holds 1000 buckets and the
+  // segment has grown to at most the next power of two, nowhere near the
+  // ~1e6-slot ring bound the old flat arena reserved per level.
+  EXPECT_EQ(eh.NumBuckets(), 1000u);
+  EXPECT_GE(eh.AllocatedSlots(), 1000u);
+  EXPECT_LE(eh.AllocatedSlots(), 2048u);
+  EXPECT_LT(eh.MemoryBytes(), 64u * 1024u);
+}
+
+// The wire format is a layout-independent level log, so the segmented
+// arena must re-encode a decoded histogram byte-identically (the same
+// bytes the flat-arena encoding produced).
+TEST(ExponentialHistogramTest, SegmentedArenaRoundTripIsByteStable) {
+  ExponentialHistogram eh({0.05, 50'000});
+  Rng rng(21);
+  Timestamp t = 1;
+  for (int op = 0; op < 300; ++op) {
+    t += rng.Uniform(30);
+    eh.Add(t, 1 + rng.Uniform(op % 7 == 0 ? 20'000 : 40));
+  }
+  ByteWriter w;
+  eh.SerializeTo(&w);
+  ByteReader r(w.bytes());
+  auto back = ExponentialHistogram::Deserialize(&r);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(r.exhausted());
+  ByteWriter w2;
+  back->SerializeTo(&w2);
+  EXPECT_EQ(w.bytes(), w2.bytes());
+  for (uint64_t range : {100u, 5'000u, 50'000u}) {
+    EXPECT_EQ(back->Estimate(t, range), eh.Estimate(t, range));
+  }
+}
+
 }  // namespace
 }  // namespace ecm

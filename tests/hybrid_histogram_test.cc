@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/ecm_sketch.h"
 #include "src/util/random.h"
 #include "src/window/counter_traits.h"
 

@@ -179,6 +179,28 @@ TEST(RandomizedWaveTest, DeserializeRejectsGarbage) {
   EXPECT_FALSE(RandomizedWave::Deserialize(&r).ok());
 }
 
+TEST(RandomizedWaveTest, DeserializeRejectsOverCapacityLevel) {
+  // A hostile header claiming more retained samples than the level
+  // capacity must be rejected, not allowed to inflate sizes[] (and with
+  // it the truncated-coverage fallback estimate).
+  ByteWriter w;
+  w.PutFixed<uint8_t>(0xB7);  // magic
+  w.PutDouble(0.5);           // epsilon -> capacity 16
+  w.PutDouble(0.1);           // delta
+  w.PutVarint(100);           // window_len
+  w.PutVarint(16);            // level_capacity
+  w.PutVarint(1);             // num_levels
+  w.PutVarint(1);             // num_subwaves
+  w.PutVarint(20);            // lifetime
+  w.PutVarint(20);            // last_ts
+  w.PutFixed<uint8_t>(0);     // level 0: not truncated
+  w.PutVarint(20);            // 20 samples > capacity 16
+  for (int i = 0; i < 20; ++i) w.PutVarint(1);
+  ByteReader r(w.bytes());
+  auto result = RandomizedWave::Deserialize(&r);
+  EXPECT_FALSE(result.ok());
+}
+
 TEST(RandomizedWaveTest, ExpiryKeepsWindowEstimatesSane) {
   RandomizedWave::Config cfg;
   cfg.epsilon = 0.1;

@@ -1,0 +1,184 @@
+// Statistical equivalence of the RandomizedWave binomial-split batch
+// sampler with the per-arrival geometric sampling it replaced:
+//  * Rng::BinomialHalf(n) vs the sum of n fair coin flips (two-sample
+//    chi-square over many trials, several n);
+//  * per-level retained-sample counts of Add(ts, c) vs a per-arrival
+//    reference simulation (two-sample chi-square per level);
+//  * the c == 1 degenerate case, which must reproduce the legacy
+//    per-arrival path bit-for-bit (same coins, same level contents).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/util/random.h"
+#include "src/window/randomized_wave.h"
+
+namespace ecm {
+namespace {
+
+// Two-sample chi-square statistic over pre-binned histograms a and b of
+// equal trial counts: sum (a_i - b_i)^2 / (a_i + b_i), df = bins - 1
+// (empty bins contribute nothing and drop from the df count).
+double TwoSampleChiSquare(const std::vector<uint64_t>& a,
+                          const std::vector<uint64_t>& b, int* df) {
+  double stat = 0.0;
+  *df = -1;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double ai = static_cast<double>(a[i]);
+    double bi = static_cast<double>(b[i]);
+    if (ai + bi == 0.0) continue;
+    stat += (ai - bi) * (ai - bi) / (ai + bi);
+    ++*df;
+  }
+  return stat;
+}
+
+// Bins a count with mean mu and standard deviation sd into `bins` equal
+// slices of mu ± 3sd (tails clamp into the edge bins).
+size_t Bin(uint64_t x, double mu, double sd, size_t bins) {
+  double lo = mu - 3.0 * sd;
+  double width = 6.0 * sd / static_cast<double>(bins);
+  double pos = (static_cast<double>(x) - lo) / width;
+  if (pos < 0.0) return 0;
+  auto idx = static_cast<size_t>(pos);
+  return idx >= bins ? bins - 1 : idx;
+}
+
+// Very generous deterministic acceptance threshold: chi^2_{0.999}(df) is
+// roughly df + 3.3 * sqrt(2 df) + 4; doubling the tail term keeps the
+// fixed-seed test far from the boundary while still catching a broken
+// sampler (which produces statistics orders of magnitude larger).
+double ChiSquareThreshold(int df) {
+  return static_cast<double>(df) + 6.6 * std::sqrt(2.0 * df) + 8.0;
+}
+
+TEST(RwSamplerEquivalenceTest, BinomialHalfMatchesCoinSums) {
+  constexpr int kTrials = 4000;
+  constexpr size_t kBins = 12;
+  for (uint64_t n : {5u, 64u, 200u, 1000u}) {
+    Rng batch_rng(0xB10C0DE + n);
+    Rng unit_rng(0xC01 + n);
+    double mu = static_cast<double>(n) / 2.0;
+    double sd = std::sqrt(static_cast<double>(n)) / 2.0;
+    std::vector<uint64_t> batch_hist(kBins, 0), unit_hist(kBins, 0);
+    for (int trial = 0; trial < kTrials; ++trial) {
+      ++batch_hist[Bin(batch_rng.BinomialHalf(n), mu, sd, kBins)];
+      uint64_t heads = 0;
+      for (uint64_t i = 0; i < n; ++i) heads += unit_rng.Next() & 1;
+      ++unit_hist[Bin(heads, mu, sd, kBins)];
+    }
+    int df = 0;
+    double stat = TwoSampleChiSquare(batch_hist, unit_hist, &df);
+    EXPECT_LT(stat, ChiSquareThreshold(df))
+        << "n=" << n << " df=" << df << " stat=" << stat;
+  }
+}
+
+TEST(RwSamplerEquivalenceTest, WaveLevelCountsMatchPerArrivalSampling) {
+  // One weighted Add of kArrivals per trial; the retained per-level sample
+  // counts of sub-wave 0 must be distributed like a per-arrival simulation
+  // drawing one geometric level per arrival. kArrivals stays below the
+  // level capacity (ε=0.2 -> 100) so no truncation distorts the counts.
+  constexpr uint64_t kArrivals = 64;
+  constexpr int kTrials = 3000;
+  constexpr int kLevels = 4;
+  constexpr size_t kBins = 10;
+  std::vector<std::vector<uint64_t>> batch_hist(kLevels), unit_hist(kLevels);
+  for (int l = 0; l < kLevels; ++l) {
+    batch_hist[l].assign(kBins, 0);
+    unit_hist[l].assign(kBins, 0);
+  }
+  RandomizedWave::Config cfg;
+  cfg.epsilon = 0.2;
+  cfg.window_len = 1 << 20;
+  cfg.max_arrivals = 1 << 16;
+
+  for (int trial = 0; trial < kTrials; ++trial) {
+    cfg.seed = 1000 + trial;
+    RandomizedWave rw(cfg);
+    rw.Add(1, kArrivals);
+    const auto& sw = rw.subwaves()[0];
+    Rng ref_rng(0x5EED0 + trial);
+    std::vector<uint64_t> ref_counts(rw.num_levels(), 0);
+    for (uint64_t i = 0; i < kArrivals; ++i) {
+      int g = ref_rng.GeometricLevel(rw.num_levels() - 1);
+      for (int l = 0; l <= g; ++l) ++ref_counts[l];
+    }
+    for (int l = 1; l <= kLevels; ++l) {
+      double mu = static_cast<double>(kArrivals) / std::pow(2.0, l);
+      double sd = std::sqrt(mu * (1.0 - 1.0 / std::pow(2.0, l)));
+      ++batch_hist[l - 1][Bin(sw.sizes[l], mu, sd, kBins)];
+      ++unit_hist[l - 1][Bin(ref_counts[l], mu, sd, kBins)];
+    }
+  }
+  for (int l = 0; l < kLevels; ++l) {
+    int df = 0;
+    double stat = TwoSampleChiSquare(batch_hist[l], unit_hist[l], &df);
+    EXPECT_LT(stat, ChiSquareThreshold(df))
+        << "level=" << (l + 1) << " df=" << df << " stat=" << stat;
+  }
+}
+
+// The legacy per-arrival algorithm, reproduced verbatim: one geometric
+// draw per arrival per sub-wave, individual push/pop-front at capacity.
+struct LegacySubWave {
+  std::vector<std::deque<Timestamp>> levels;
+  std::vector<bool> truncated;
+};
+
+TEST(RwSamplerEquivalenceTest, UnitAddsBitIdenticalToPerArrivalPath) {
+  RandomizedWave::Config cfg;
+  cfg.epsilon = 0.15;  // capacity 178: exercises truncation
+  cfg.window_len = 1 << 30;
+  cfg.max_arrivals = 1 << 14;
+  cfg.seed = 99;
+  RandomizedWave rw(cfg);
+
+  std::vector<LegacySubWave> legacy(rw.num_subwaves());
+  for (auto& sw : legacy) {
+    sw.levels.resize(rw.num_levels());
+    sw.truncated.assign(rw.num_levels(), false);
+  }
+  Rng legacy_rng(cfg.seed);
+
+  Rng script(7);
+  Timestamp t = 1;
+  for (int i = 0; i < 2000; ++i) {
+    t += script.Uniform(3);  // repeats produce adjacent equal timestamps
+    rw.Add(t, 1);
+    for (auto& sw : legacy) {
+      int g = legacy_rng.GeometricLevel(rw.num_levels() - 1);
+      for (int l = 0; l <= g; ++l) {
+        sw.levels[l].push_back(t);
+        if (sw.levels[l].size() > rw.level_capacity()) {
+          sw.levels[l].pop_front();
+          sw.truncated[l] = true;
+        }
+      }
+    }
+  }
+
+  for (int s = 0; s < rw.num_subwaves(); ++s) {
+    const auto& sw = rw.subwaves()[s];
+    for (int l = 0; l < rw.num_levels(); ++l) {
+      std::vector<Timestamp> expanded;
+      for (const auto& run : sw.levels[l]) {
+        for (uint64_t i = 0; i < run.count; ++i) expanded.push_back(run.ts);
+      }
+      std::vector<Timestamp> expected(legacy[s].levels[l].begin(),
+                                      legacy[s].levels[l].end());
+      ASSERT_EQ(expanded, expected) << "subwave " << s << " level " << l;
+      ASSERT_EQ(sw.truncated[l], legacy[s].truncated[l])
+          << "subwave " << s << " level " << l;
+      ASSERT_EQ(sw.sizes[l], expected.size())
+          << "subwave " << s << " level " << l;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ecm
