@@ -82,11 +82,29 @@ class DyadicEcm {
     }
   }
 
-  /// Estimated number of in-window arrivals with key in [lo, hi].
+  /// Estimated number of in-window arrivals with key in [lo, hi]. The
+  /// decomposed dyadic ranges are sorted by level and each level sketch
+  /// answers its prefixes in one batched pass (thread-local scratch; no
+  /// per-call allocations beyond the decomposition itself).
   double RangeQuery(uint64_t lo, uint64_t hi, uint64_t range) const {
+    std::vector<DyadicRange> ranges = DyadicDecompose(lo, hi, domain_bits_);
+    std::sort(ranges.begin(), ranges.end(),
+              [](const DyadicRange& a, const DyadicRange& b) {
+                return a.level < b.level;
+              });
+    static thread_local std::vector<uint64_t> keys;
+    static thread_local std::vector<double> ests;
     double sum = 0.0;
-    for (const DyadicRange& r : DyadicDecompose(lo, hi, domain_bits_)) {
-      sum += levels_[r.level].PointQuery(r.prefix, range);
+    for (size_t i = 0; i < ranges.size();) {
+      const int level = ranges[i].level;
+      keys.clear();
+      while (i < ranges.size() && ranges[i].level == level) {
+        keys.push_back(ranges[i++].prefix);
+      }
+      ests.resize(keys.size());
+      levels_[level].PointQueryBatchAt(keys.data(), keys.size(), range,
+                                       levels_[level].Now(), ests.data());
+      for (double e : ests) sum += e;
     }
     return sum;
   }
@@ -95,11 +113,37 @@ class DyadicEcm {
   /// occurrences (group-testing descent; Theorem 5 guarantees every key
   /// with true frequency >= (φ+ε)‖a_r‖₁ is reported and, w.h.p., none
   /// below φ‖a_r‖₁).
+  ///
+  /// The descent runs level by level on a frontier of surviving
+  /// prefixes: each level's sibling probes go through the level sketch's
+  /// batched point-query path in one pass (one hash pass per prefix,
+  /// row-major counter sweep) instead of one PointQuery per tree node.
+  /// Reported keys, estimates and order are identical to the recursive
+  /// per-node descent (ascending key order).
   std::vector<HeavyHitter> HeavyHittersAbsolute(double threshold,
                                                 uint64_t range) const {
     std::vector<HeavyHitter> out;
-    Descend(domain_bits_ - 1, 0, threshold, range, &out);
-    Descend(domain_bits_ - 1, 1, threshold, range, &out);
+    std::vector<uint64_t> frontier = {0, 1};
+    std::vector<uint64_t> next;
+    std::vector<double> ests;
+    for (int level = domain_bits_ - 1; level >= 0 && !frontier.empty();
+         --level) {
+      const EcmSketch<Counter>& sketch = levels_[level];
+      ests.resize(frontier.size());
+      sketch.PointQueryBatchAt(frontier.data(), frontier.size(), range,
+                               sketch.Now(), ests.data());
+      next.clear();
+      for (size_t i = 0; i < frontier.size(); ++i) {
+        if (ests[i] < threshold) continue;
+        if (level == 0) {
+          out.push_back(HeavyHitter{frontier[i], ests[i]});
+        } else {
+          next.push_back(frontier[i] * 2);
+          next.push_back(frontier[i] * 2 + 1);
+        }
+      }
+      frontier.swap(next);
+    }
     return out;
   }
 
@@ -111,7 +155,10 @@ class DyadicEcm {
     return HeavyHittersAbsolute(phi_ratio * l1, range);
   }
 
-  /// ‖a_r‖₁ estimate (average of per-row counter sums of CM₀).
+  /// ‖a_r‖₁ estimate (average of per-row counter sums of CM₀). Memoized
+  /// inside CM₀ per (now, range) until its next update, so the
+  /// ratio-threshold descent and quantile binary search pay the full
+  /// width × depth sweep once.
   double EstimateL1(uint64_t range) const {
     return levels_[0].EstimateL1(range);
   }
@@ -144,18 +191,6 @@ class DyadicEcm {
   const EcmSketch<Counter>& level(int i) const { return levels_[i]; }
 
  private:
-  void Descend(int level, uint64_t prefix, double threshold, uint64_t range,
-               std::vector<HeavyHitter>* out) const {
-    double est = levels_[level].PointQuery(prefix, range);
-    if (est < threshold) return;
-    if (level == 0) {
-      out->push_back(HeavyHitter{prefix, est});
-      return;
-    }
-    Descend(level - 1, prefix * 2, threshold, range, out);
-    Descend(level - 1, prefix * 2 + 1, threshold, range, out);
-  }
-
   int domain_bits_;
   std::vector<EcmSketch<Counter>> levels_;
 };

@@ -161,11 +161,13 @@ class EcmSketch {
     }
     last_ts_ = use_ts;
     l1_lifetime_ += count;
+    ++version_;
     // One-pass hashing: mix the key once, derive all d row buckets.
     uint32_t cols[kMaxSketchDepth];
     hashes_.BucketsMixed(key, config_.width, cols);
     for (int j = 0; j < config_.depth; ++j) {
-      CounterAt(j, cols[j]).Add(use_ts, count);
+      counters_[static_cast<size_t>(j) * config_.width + cols[j]].Add(use_ts,
+                                                                      count);
     }
   }
 
@@ -187,6 +189,31 @@ class EcmSketch {
     return best;
   }
 
+  /// Batched point queries: writes the estimate for each of keys[0..n)
+  /// to out[0..n), identical to n PointQueryAt calls. One Mix64 pass per
+  /// key fills all row buckets up front; the estimation pass then sweeps
+  /// the counter array row-major (each row's counters are contiguous),
+  /// taking per-key minima — the access pattern the dyadic heavy-hitter
+  /// frontier descent batches its sibling probes through.
+  void PointQueryBatchAt(const uint64_t* keys, size_t n, uint64_t range,
+                         Timestamp now, double* out) const {
+    static thread_local std::vector<uint32_t> cols;
+    cols.resize(n * static_cast<size_t>(config_.depth));
+    for (size_t k = 0; k < n; ++k) {
+      hashes_.BucketsMixed(keys[k], config_.width,
+                           &cols[k * static_cast<size_t>(config_.depth)]);
+    }
+    std::fill(out, out + n, std::numeric_limits<double>::infinity());
+    for (int j = 0; j < config_.depth; ++j) {
+      const Counter* row = &counters_[static_cast<size_t>(j) * config_.width];
+      for (size_t k = 0; k < n; ++k) {
+        double est = row[cols[k * static_cast<size_t>(config_.depth) + j]]
+                         .Estimate(now, range);
+        out[k] = std::min(out[k], est);
+      }
+    }
+  }
+
   /// Single-row contribution to a point query: the estimate of the one
   /// counter `key` hashes to in row `row`. The geometric point monitor
   /// (§6.2) treats the d per-row values as the key's statistics vector.
@@ -194,6 +221,19 @@ class EcmSketch {
                          Timestamp now) const {
     return CounterAt(row, hashes_.Bucket(row, key, config_.width))
         .Estimate(now, range);
+  }
+
+  /// All d per-row contributions of `key` at once (out[0..depth)): the
+  /// statistics vector of the geometric point monitor, materialized with
+  /// a single Mix64 pass instead of one hash per row. out[j] ==
+  /// PointQueryRowAt(key, j, range, now).
+  void PointQueryRowsAt(uint64_t key, uint64_t range, Timestamp now,
+                        double* out) const {
+    uint32_t cols[kMaxSketchDepth];
+    hashes_.BucketsMixed(key, config_.width, cols);
+    for (int j = 0; j < config_.depth; ++j) {
+      out[j] = CounterAt(j, cols[j]).Estimate(now, range);
+    }
   }
 
   /// Estimated inner product a_r ⊙ b_r of this sketch's stream with
@@ -208,12 +248,26 @@ class EcmSketch {
       return Status::Incompatible(
           "InnerProduct requires equal dimensions, seed, window and mode");
     }
+    // Batched path: materialize each row's counter estimates once into
+    // scratch, then dot. A self-join squares the one materialized row,
+    // so every counter is estimated exactly once — half the work of the
+    // per-cell double-Estimate loop, with identical results (same values,
+    // same accumulation order).
+    static thread_local std::vector<double> scratch_a, scratch_b;
+    const bool self = (this == &other);
+    scratch_a.resize(config_.width);
+    if (!self) scratch_b.resize(config_.width);
     double best = std::numeric_limits<double>::infinity();
     for (int j = 0; j < config_.depth; ++j) {
+      EstimateRowAt(j, range, now, scratch_a.data());
+      const double* b = scratch_a.data();
+      if (!self) {
+        other.EstimateRowAt(j, range, now, scratch_b.data());
+        b = scratch_b.data();
+      }
       double row = 0.0;
       for (uint32_t i = 0; i < config_.width; ++i) {
-        row += CounterAt(j, i).Estimate(now, range) *
-               other.CounterAt(j, i).Estimate(now, range);
+        row += scratch_a[i] * b[i];
       }
       best = std::min(best, row);
     }
@@ -233,14 +287,36 @@ class EcmSketch {
   /// window-counter error; averaging cancels much of it).
   double EstimateL1(uint64_t range) const { return EstimateL1At(range, Now()); }
 
+  /// The result for a given (now, range) is memoized until the next
+  /// update (Add/AdvanceTo/RestoreClock or direct counter mutation), so
+  /// repeated window-total probes — the dyadic stack's ratio-threshold
+  /// pruning, quantile binary searches — are O(1) after the first.
   double EstimateL1At(uint64_t range, Timestamp now) const {
+    if (l1_cache_.valid && l1_cache_.version == version_ &&
+        l1_cache_.now == now && l1_cache_.range == range) {
+      return l1_cache_.value;
+    }
     double total = 0.0;
     for (int j = 0; j < config_.depth; ++j) {
       for (uint32_t i = 0; i < config_.width; ++i) {
         total += CounterAt(j, i).Estimate(now, range);
       }
     }
-    return total / config_.depth;
+    l1_cache_ = L1Cache{version_, now, range, total / config_.depth, true};
+    return l1_cache_.value;
+  }
+
+  /// Materializes row `row`'s counter estimates at (now, range) into
+  /// out[0..width) — the batched query primitive shared by
+  /// InnerProduct/SelfJoin and the geometric monitor's statistics
+  /// vectors: each counter's Estimate runs exactly once per pass over
+  /// the row's contiguous storage.
+  void EstimateRowAt(int row, uint64_t range, Timestamp now,
+                     double* out) const {
+    const Counter* base = &counters_[static_cast<size_t>(row) * config_.width];
+    for (uint32_t i = 0; i < config_.width; ++i) {
+      out[i] = base[i].Estimate(now, range);
+    }
   }
 
   /// Extracts one row's counter estimates for range `range` as a dense
@@ -249,9 +325,7 @@ class EcmSketch {
   std::vector<double> RowEstimates(int row, uint64_t range,
                                    Timestamp now) const {
     std::vector<double> out(config_.width);
-    for (uint32_t i = 0; i < config_.width; ++i) {
-      out[i] = CounterAt(row, i).Estimate(now, range);
-    }
+    EstimateRowAt(row, range, now, out.data());
     return out;
   }
 
@@ -314,6 +388,7 @@ class EcmSketch {
   void AdvanceTo(Timestamp now) {
     assert(config_.mode == WindowMode::kTimeBased && now >= last_ts_);
     last_ts_ = now;
+    ++version_;
     for (auto& c : counters_) c.Expire(now);
   }
 
@@ -326,6 +401,7 @@ class EcmSketch {
     last_ts_ = now;
     arrivals_ = (config_.mode == WindowMode::kCountBased) ? now : arrivals_;
     l1_lifetime_ = l1;
+    ++version_;
   }
 
   /// In-memory footprint: all counters plus the sketch frame.
@@ -345,6 +421,9 @@ class EcmSketch {
     return counters_[static_cast<size_t>(row) * config_.width + col];
   }
   Counter& CounterAt(int row, uint32_t col) {
+    // Handing out a mutable counter (deserialization, tests) may change
+    // its contents, so the memoized window totals must not outlive it.
+    ++version_;
     return counters_[static_cast<size_t>(row) * config_.width + col];
   }
 
@@ -373,12 +452,27 @@ class EcmSketch {
     }
   }
 
+  // Memoized EstimateL1At result, keyed on the sketch's update version
+  // and the query's (now, range). `mutable` because queries are
+  // logically const; like the thread_local query scratch, concurrent
+  // queries on one sketch instance are not supported (updates never
+  // were).
+  struct L1Cache {
+    uint64_t version = 0;
+    Timestamp now = 0;
+    uint64_t range = 0;
+    double value = 0.0;
+    bool valid = false;
+  };
+
   EcmConfig config_;
   HashFamily hashes_;
   std::vector<Counter> counters_;  // row-major depth × width
   uint64_t arrivals_ = 0;          // count-based arrival index
   Timestamp last_ts_ = 0;
   uint64_t l1_lifetime_ = 0;
+  uint64_t version_ = 0;  // bumped on every state mutation
+  mutable L1Cache l1_cache_;
 };
 
 /// The paper's three variants plus the collision-only testing variant.

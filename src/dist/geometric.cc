@@ -47,14 +47,14 @@ GeometricSelfJoinMonitor::GeometricSelfJoinMonitor(
 std::vector<double> GeometricSelfJoinMonitor::SiteVector(int site) const {
   const EcmSketch<ExponentialHistogram>& sketch =
       sites_[static_cast<size_t>(site)];
-  std::vector<double> out;
-  out.reserve(static_cast<size_t>(sketch_config_.width) *
-              sketch_config_.depth);
+  const size_t width = sketch_config_.width;
+  std::vector<double> out(width * static_cast<size_t>(sketch_config_.depth));
   const Timestamp now = sketch.Now();
   for (int row = 0; row < sketch_config_.depth; ++row) {
-    std::vector<double> row_values =
-        sketch.RowEstimates(row, sketch_config_.window_len, now);
-    out.insert(out.end(), row_values.begin(), row_values.end());
+    // Batched row materialization straight into the statistics vector —
+    // no per-row temporaries.
+    sketch.EstimateRowAt(row, sketch_config_.window_len, now,
+                         &out[static_cast<size_t>(row) * width]);
   }
   return out;
 }
@@ -158,10 +158,9 @@ std::vector<double> GeometricPointMonitor::SiteVector(int site) const {
       sites_[static_cast<size_t>(site)];
   const Timestamp now = sketch.Now();
   std::vector<double> out(static_cast<size_t>(sketch_config_.depth));
-  for (int row = 0; row < sketch_config_.depth; ++row) {
-    out[static_cast<size_t>(row)] = sketch.PointQueryRowAt(
-        config_.key, row, sketch_config_.window_len, now);
-  }
+  // One mixing pass for all d per-row contributions of the watched key.
+  sketch.PointQueryRowsAt(config_.key, sketch_config_.window_len, now,
+                          out.data());
   return out;
 }
 

@@ -9,9 +9,14 @@ EquiWidthWindow::EquiWidthWindow(const Config& config)
     : window_len_(config.window_len) {
   assert(config.window_len > 0 && config.num_subwindows > 0);
   // B+1 slots so a full window of B spans is always representable even
-  // when the current slot is partially filled.
+  // when the current slot is partially filled. The span rounds UP so
+  // that (B+1)·span >= window + span always holds: with a floored span
+  // and window % B != 0 the ring could wrap inside the window and
+  // silently overwrite in-window mass (e.g. window=100, B=60 gave
+  // span=1 and only 61 covered ticks).
   uint32_t slots = config.num_subwindows + 1;
-  span_ = std::max<uint64_t>(1, window_len_ / config.num_subwindows);
+  span_ = std::max<uint64_t>(
+      1, (window_len_ + config.num_subwindows - 1) / config.num_subwindows);
   slots_.assign(slots, 0);
   slot_epochs_.assign(slots, ~0ULL);
 }
@@ -42,24 +47,30 @@ void EquiWidthWindow::Expire(Timestamp now) {
 double EquiWidthWindow::Estimate(Timestamp now, uint64_t range) const {
   if (range > window_len_) range = window_len_;
   Timestamp boundary = WindowStart(now, range);
+  // Only slot epochs intersecting (boundary, now] can contribute, and a
+  // stored epoch e intersects exactly when SlotEpoch(boundary) <= e <=
+  // SlotEpoch(now) — so walk those epochs directly (at most range/span+1
+  // ring probes) instead of scanning the whole ring.
   double sum = 0.0;
-  for (size_t i = 0; i < slots_.size(); ++i) {
-    if (slot_epochs_[i] == ~0ULL || slots_[i] == 0) continue;
-    Timestamp slot_start = slot_epochs_[i];
-    Timestamp slot_end = slot_start + span_;  // exclusive
-    if (slot_start > now || slot_end <= boundary) continue;
-    if (slot_start > boundary && slot_end <= now + 1) {
-      sum += static_cast<double>(slots_[i]);
-    } else {
-      // Boundary slot: assume uniform arrivals within the slot (the
-      // baseline's unavoidable, guarantee-free assumption).
-      Timestamp lo = std::max(slot_start, boundary + 1);
-      Timestamp hi = std::min<Timestamp>(slot_end, now + 1);
-      double frac = hi > lo ? static_cast<double>(hi - lo) /
-                                  static_cast<double>(span_)
-                            : 0.0;
-      sum += static_cast<double>(slots_[i]) * frac;
+  Timestamp last_epoch = SlotEpoch(now);
+  for (Timestamp e = SlotEpoch(boundary);; e += span_) {
+    size_t i = SlotIndex(e);
+    if (slot_epochs_[i] == e && slots_[i] != 0) {
+      Timestamp slot_end = e + span_;  // exclusive
+      if (e > boundary && slot_end <= now + 1) {
+        sum += static_cast<double>(slots_[i]);
+      } else {
+        // Boundary slot: assume uniform arrivals within the slot (the
+        // baseline's unavoidable, guarantee-free assumption).
+        Timestamp lo = std::max(e, boundary + 1);
+        Timestamp hi = std::min<Timestamp>(slot_end, now + 1);
+        double frac = hi > lo ? static_cast<double>(hi - lo) /
+                                    static_cast<double>(span_)
+                              : 0.0;
+        sum += static_cast<double>(slots_[i]) * frac;
+      }
     }
+    if (e == last_epoch) break;
   }
   return sum;
 }

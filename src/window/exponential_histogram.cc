@@ -160,16 +160,35 @@ double ExponentialHistogram::Estimate(Timestamp now, uint64_t range) const {
   assert(now >= last_ts_);
   if (range > window_len_) range = window_len_;
   Timestamp boundary = WindowStart(now, range);
+  if (num_buckets_ == 0) return 0.0;
 
-  // Random-access query path (paper §4.2.1 / §7.1): within each level,
-  // bucket end timestamps ascend front-to-back, so the first in-range
-  // bucket is found by binary search — O(log(u)·log(1/ε)) instead of the
-  // O(log(u)/ε) full scan. Levels hold buckets in strictly decreasing
-  // age (level i+1 buckets are all older than level i buckets), so the
-  // oldest in-range bucket lives in the highest level holding one.
-  double sum = 0.0;
-  bool first_included = true;
-  for (size_t i = levels_.size(); i-- > 0;) {
+  // Full-coverage fast path: the global oldest bucket (ring front of the
+  // top non-empty level) is already in range, so every bucket is — the
+  // running total answers in O(1), with the straddle half-correction
+  // (paper §3) applied to that oldest bucket. This is the steady state
+  // for full-window queries after Expire().
+  const Timestamp oldest_end = At(top_level_, 0).end;
+  if (boundary < oldest_end) {
+    double sum = static_cast<double>(total_);
+    bool fully_inside = boundary == 0 || expired_end_ > boundary ||
+                        expired_end_ >= oldest_end;
+    if (!fully_inside) {
+      sum -= static_cast<double>(1ULL << top_level_) / 2.0;
+    }
+    return sum;
+  }
+
+  // Partial range: bucket age strictly decreases from the top level down
+  // (level i+1 buckets are all older than level i buckets), so exactly
+  // one level straddles the boundary — the highest one whose newest
+  // bucket is in range. One binary search inside that level finds the
+  // oldest in-range bucket; every lower level contributes its whole
+  // weight off the directory without touching bucket storage. In-range
+  // weight accumulates in integers, so the result is bit-identical to
+  // the per-level scan (EstimateScanReference) for masses below 2^53.
+  uint64_t weight = 0;
+  double straddle = 0.0;
+  for (size_t i = top_level_ + 1; i-- > 0;) {
     const uint32_t n = levels_[i].count;
     if (n == 0 || At(i, n - 1).end <= boundary) continue;
     // First ring position whose bucket end exceeds the boundary.
@@ -182,15 +201,60 @@ double ExponentialHistogram::Estimate(Timestamp now, uint64_t range) const {
         hi = mid;
       }
     }
+    weight += static_cast<uint64_t>(n - lo) << i;
+    // The oldest in-range bucket contributes half its size if it
+    // straddles the boundary and fully if its reconstructed start is
+    // inside the range. Its start is the end of the next-older bucket:
+    // the predecessor in this level, else the newest bucket of the next
+    // non-empty level above, else the expiry watermark.
+    Timestamp prev_end = expired_end_;
+    if (lo > 0) {
+      prev_end = At(i, lo - 1).end;
+    } else {
+      for (size_t j = i + 1; j < levels_.size(); ++j) {
+        if (levels_[j].count > 0) {
+          prev_end = At(j, levels_[j].count - 1).end;
+          break;
+        }
+      }
+    }
+    bool fully_inside =
+        boundary == 0 || prev_end > boundary || prev_end >= At(i, lo).end;
+    if (!fully_inside) straddle = static_cast<double>(1ULL << i) / 2.0;
+    // All remaining (newer) levels are entirely in range.
+    while (i-- > 0) {
+      weight += static_cast<uint64_t>(levels_[i].count) << i;
+    }
+    break;
+  }
+  return static_cast<double>(weight) - straddle;
+}
+
+double ExponentialHistogram::EstimateScanReference(Timestamp now,
+                                                   uint64_t range) const {
+  assert(now >= last_ts_);
+  if (range > window_len_) range = window_len_;
+  Timestamp boundary = WindowStart(now, range);
+
+  // The pre-PR4 query path: every level binary-searched independently,
+  // partial sums accumulated in doubles top-down.
+  double sum = 0.0;
+  bool first_included = true;
+  for (size_t i = levels_.size(); i-- > 0;) {
+    const uint32_t n = levels_[i].count;
+    if (n == 0 || At(i, n - 1).end <= boundary) continue;
+    uint32_t lo = 0, hi = n;
+    while (lo < hi) {
+      uint32_t mid = lo + (hi - lo) / 2;
+      if (At(i, mid).end <= boundary) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
     double size = static_cast<double>(1ULL << i);
     sum += size * static_cast<double>(n - lo);
     if (first_included) {
-      // The oldest bucket intersecting the query contributes half its
-      // size if it straddles the boundary (paper §3) and fully if its
-      // reconstructed start is already inside the range. Its start is
-      // the end of the next-older bucket: the predecessor in this level,
-      // else the newest bucket of the next-higher non-empty level, else
-      // the expiry watermark.
       Timestamp prev_end = expired_end_;
       if (lo > 0) {
         prev_end = At(i, lo - 1).end;

@@ -78,7 +78,20 @@ class ExponentialHistogram {
   /// Estimated number of arrivals with timestamp in (now - range, now].
   /// `range` is clamped to the configured window length. `now` must be
   /// >= the last Add() timestamp (the caller's clock may have advanced).
+  ///
+  /// O(1) when the range covers every held bucket (the steady state for
+  /// full-window queries): the maintained running total answers directly.
+  /// Otherwise one binary search inside the single straddling level; all
+  /// newer levels contribute their whole weight off the level directory
+  /// without touching bucket storage.
   double Estimate(Timestamp now, uint64_t range) const;
+
+  /// Pre-PR4 reference implementation of Estimate: the per-level scan
+  /// that binary-searches every level's ring independently. Bit-identical
+  /// to Estimate() for in-window masses below 2^53 (both paths then sum
+  /// exactly representable doubles) — kept as the differential-test
+  /// oracle and the bench ablation baseline.
+  double EstimateScanReference(Timestamp now, uint64_t range) const;
 
   /// Estimate over the full window length.
   double EstimateWindow(Timestamp now) const {
@@ -163,12 +176,18 @@ class ExponentialHistogram {
     if (idx >= cap) idx -= cap;
     l.slots[idx] = b;
     ++l.count;
+    if (level > top_level_ || levels_[top_level_].count == 0) {
+      top_level_ = level;
+    }
   }
   Bucket PopFront(size_t level) {
     Level& l = levels_[level];
     Bucket b = l.slots[l.head];
     l.head = (l.head + 1 == l.slots.size()) ? 0 : l.head + 1;
     --l.count;
+    if (l.count == 0 && level == top_level_) {
+      while (top_level_ > 0 && levels_[top_level_].count == 0) --top_level_;
+    }
     return b;
   }
   // Grows the level directory so that `level` exists (no slot storage is
@@ -189,6 +208,10 @@ class ExponentialHistogram {
   size_t level_capacity_;
 
   std::vector<Level> levels_;
+  // Index of the highest non-empty level (the global oldest bucket is its
+  // ring front); 0 when no buckets are held. Lets full-coverage queries
+  // read the oldest bucket in O(1).
+  size_t top_level_ = 0;
   size_t num_buckets_ = 0;
   uint64_t total_ = 0;     // sum of sizes of held buckets
   uint64_t lifetime_ = 0;  // all arrivals ever

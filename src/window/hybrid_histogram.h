@@ -78,6 +78,12 @@ class HybridHistogram {
   uint64_t window_len_;
   uint64_t exact_len_;
   uint64_t span_;
+  // Demotion watermark: the highest exact-region start any Add/Expire has
+  // demoted through. No tail-ring content is newer than this, which is
+  // what lets Estimate() clamp tail interpolation out of the exact
+  // region. Tracked explicitly because Expire(now) may run with a clock
+  // ahead of last_ts_.
+  Timestamp demoted_through_ = 0;
   std::deque<Run> exact_;  // oldest first, all within exact_len of last_ts_
   std::vector<uint64_t> slots_;
   std::vector<Timestamp> slot_epochs_;

@@ -92,6 +92,63 @@ std::vector<RwSample> ExtendLevels(const std::deque<RwSample>& top_level,
   return current;
 }
 
+// One input's contribution to a merged level: either a borrowed view of
+// the input's own run deque or an owned vector of simulated runs. Both
+// are already sorted by timestamp, which is what lets the level merge be
+// a k-way run merge instead of a concatenate-and-sort.
+struct RunSource {
+  const std::deque<RwSample>* borrowed = nullptr;
+  std::vector<RwSample> owned;
+  size_t pos = 0;
+
+  size_t size() const { return borrowed ? borrowed->size() : owned.size(); }
+  const RwSample& at(size_t i) const {
+    return borrowed ? (*borrowed)[i] : owned[i];
+  }
+  bool exhausted() const { return pos >= size(); }
+  const RwSample& head() const { return at(pos); }
+};
+
+// Merges the sources' runs into timestamp order, coalescing equal
+// timestamps across inputs, and returns the total sample count. A binary
+// min-heap over the source heads makes this O(n log k) for n total runs
+// over a fan-in of k, replacing the previous concatenate-and-sort's
+// O(n log n) whole-level re-sort. Sources with equal head timestamps can
+// pop in either order — coalescing makes the result identical.
+uint64_t KWayMergeRuns(std::vector<RunSource>* sources,
+                       std::vector<RwSample>* runs) {
+  runs->clear();
+  uint64_t total = 0;
+  auto newer_head = [sources](size_t a, size_t b) {
+    return (*sources)[a].head().ts > (*sources)[b].head().ts;
+  };
+  std::vector<size_t> heap;
+  heap.reserve(sources->size());
+  for (size_t i = 0; i < sources->size(); ++i) {
+    if (!(*sources)[i].exhausted()) heap.push_back(i);
+  }
+  std::make_heap(heap.begin(), heap.end(), newer_head);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), newer_head);
+    size_t idx = heap.back();
+    heap.pop_back();
+    RunSource& src = (*sources)[idx];
+    const RwSample& s = src.head();
+    ++src.pos;
+    total += s.count;
+    if (!runs->empty() && runs->back().ts == s.ts) {
+      runs->back().count += s.count;
+    } else {
+      runs->push_back(s);
+    }
+    if (!src.exhausted()) {
+      heap.push_back(idx);
+      std::push_heap(heap.begin(), heap.end(), newer_head);
+    }
+  }
+  return total;
+}
+
 }  // namespace
 
 Result<RandomizedWave> MergeRandomizedWaves(
@@ -129,40 +186,30 @@ Result<RandomizedWave> MergeRandomizedWaves(
   uint64_t lifetime = 0;
   Timestamp last_ts = 0;
 
+  std::vector<RunSource> sources;
+  std::vector<RwSample> runs;
   for (int s = 0; s < first.num_subwaves(); ++s) {
     auto& out_sw = merged.mutable_subwaves()[s];
     for (int l = 0; l < merged.num_levels(); ++l) {
-      std::vector<RwSample> entries;
+      // Each input's level runs are already sorted by timestamp, so the
+      // merged level is a k-way run merge across the inputs.
+      sources.clear();
       bool truncated = false;
       for (const auto* rw : inputs) {
         const auto& in_sw = rw->subwaves()[s];
         int in_top = rw->num_levels() - 1;
+        RunSource src;
         if (l <= in_top) {
-          entries.insert(entries.end(), in_sw.levels[l].begin(),
-                         in_sw.levels[l].end());
+          src.borrowed = &in_sw.levels[l];
           truncated = truncated || in_sw.truncated[l];
         } else {
           // Input provisioned fewer levels: sub-sample its top level on.
-          auto sim = ExtendLevels(in_sw.levels[in_top], l - in_top, &rng);
-          entries.insert(entries.end(), sim.begin(), sim.end());
+          src.owned = ExtendLevels(in_sw.levels[in_top], l - in_top, &rng);
           truncated = truncated || in_sw.truncated[in_top];
         }
+        sources.push_back(std::move(src));
       }
-      std::sort(entries.begin(), entries.end(),
-                [](const RwSample& a, const RwSample& b) {
-                  return a.ts < b.ts;
-                });
-      // Coalesce equal timestamps across inputs and total the samples.
-      std::vector<RwSample> runs;
-      uint64_t total = 0;
-      for (const RwSample& s2 : entries) {
-        total += s2.count;
-        if (!runs.empty() && runs.back().ts == s2.ts) {
-          runs.back().count += s2.count;
-        } else {
-          runs.push_back(s2);
-        }
-      }
+      uint64_t total = KWayMergeRuns(&sources, &runs);
       if (total > capacity) {
         // Keep the most recent `capacity` samples.
         uint64_t excess = total - capacity;
@@ -180,6 +227,13 @@ Result<RandomizedWave> MergeRandomizedWaves(
         runs.erase(runs.begin(),
                    runs.begin() + static_cast<ptrdiff_t>(keep_from));
         total = capacity;
+      }
+      // Re-establish the runs' cumulative-count invariant (truncation
+      // moved the front) before handing them to the wave's query path.
+      uint64_t cum = 0;
+      for (RwSample& r : runs) {
+        cum += r.count;
+        r.cum = cum;
       }
       out_sw.levels[l].assign(runs.begin(), runs.end());
       out_sw.sizes[l] = total;

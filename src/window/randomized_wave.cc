@@ -46,8 +46,10 @@ void RandomizedWave::PushSamples(SubWave* sw, int level, Timestamp ts,
   auto& runs = sw->levels[level];
   if (!runs.empty() && runs.back().ts == ts) {
     runs.back().count += n;
+    runs.back().cum += n;
   } else {
-    runs.push_back(Sample{ts, n});
+    uint64_t cum = (runs.empty() ? 0 : runs.back().cum) + n;
+    runs.push_back(Sample{ts, n, cum});
   }
   uint64_t size = sw->sizes[level] + n;
   if (size > level_capacity_) {
@@ -137,12 +139,16 @@ double RandomizedWave::EstimateSubWave(int idx, Timestamp now,
     bool covers =
         !sw.truncated[l] || (!level.empty() && level.front().ts <= boundary);
     if (!covers) continue;
-    // Number of sampled arrivals strictly inside the range.
+    // Number of sampled arrivals strictly inside the range: suffix sum of
+    // the runs past the partition point, read off the cumulative counts.
     auto it = std::partition_point(
         level.begin(), level.end(),
         [boundary](const Sample& s) { return s.ts <= boundary; });
     uint64_t in_range = 0;
-    for (; it != level.end(); ++it) in_range += it->count;
+    if (it != level.end()) {
+      in_range = (it == level.begin()) ? sw.sizes[l]
+                                       : level.back().cum - std::prev(it)->cum;
+    }
     return static_cast<double>(in_range) * static_cast<double>(1ULL << l);
   }
   // No level covers the boundary (possible only under adversarial
@@ -157,6 +163,36 @@ double RandomizedWave::Estimate(Timestamp now, uint64_t range) const {
   ests.reserve(subwaves_.size());
   for (int i = 0; i < num_subwaves(); ++i) {
     ests.push_back(EstimateSubWave(i, now, range));
+  }
+  auto mid = ests.begin() + ests.size() / 2;
+  std::nth_element(ests.begin(), mid, ests.end());
+  return *mid;
+}
+
+double RandomizedWave::EstimateScanReference(Timestamp now,
+                                             uint64_t range) const {
+  assert(now >= last_ts_);
+  uint64_t clamped = range > window_len_ ? window_len_ : range;
+  Timestamp boundary = WindowStart(now, clamped);
+  std::vector<double> ests;
+  ests.reserve(subwaves_.size());
+  for (const SubWave& sw : subwaves_) {
+    double est = static_cast<double>(sw.sizes[num_levels_ - 1]) *
+                 static_cast<double>(1ULL << (num_levels_ - 1));
+    for (int l = 0; l < num_levels_; ++l) {
+      const auto& level = sw.levels[l];
+      bool covers =
+          !sw.truncated[l] || (!level.empty() && level.front().ts <= boundary);
+      if (!covers) continue;
+      auto it = std::partition_point(
+          level.begin(), level.end(),
+          [boundary](const Sample& s) { return s.ts <= boundary; });
+      uint64_t in_range = 0;
+      for (; it != level.end(); ++it) in_range += it->count;
+      est = static_cast<double>(in_range) * static_cast<double>(1ULL << l);
+      break;
+    }
+    ests.push_back(est);
   }
   auto mid = ests.begin() + ests.size() / 2;
   std::nth_element(ests.begin(), mid, ests.end());
@@ -269,8 +305,10 @@ Result<RandomizedWave> RandomizedWave::Deserialize(ByteReader* r) {
         auto& runs = sw.levels[l];
         if (!runs.empty() && runs.back().ts == prev) {
           ++runs.back().count;
+          ++runs.back().cum;
         } else {
-          runs.push_back(Sample{prev, 1});
+          uint64_t cum = (runs.empty() ? 0 : runs.back().cum) + 1;
+          runs.push_back(Sample{prev, 1, cum});
         }
       }
       sw.sizes[l] = *count;

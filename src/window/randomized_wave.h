@@ -71,7 +71,16 @@ class RandomizedWave {
   void Add(Timestamp ts, uint64_t count = 1);
 
   /// Median-of-sub-waves estimate of the arrivals in (now - range, now].
+  /// O(log) per sub-wave: the partition point is found by binary search
+  /// and the in-range sample count read off the runs' cumulative counts
+  /// (Sample::cum) instead of walking the run suffix.
   double Estimate(Timestamp now, uint64_t range) const;
+
+  /// Pre-PR4 reference implementation of Estimate: identical level
+  /// selection, but the in-range sample count is accumulated by a linear
+  /// walk over the run suffix. Bit-identical to Estimate() — kept as the
+  /// differential-test oracle and the bench ablation baseline.
+  double EstimateScanReference(Timestamp now, uint64_t range) const;
 
   /// Drops sample entries that can no longer influence in-window queries.
   void Expire(Timestamp now);
@@ -91,9 +100,16 @@ class RandomizedWave {
   Timestamp last_timestamp() const { return last_ts_; }
 
   /// A run of retained samples: `count` arrivals all stamped `ts`.
+  /// `cum` is the run's inclusive cumulative sample count within its
+  /// level's retained history: for adjacent runs a, b the invariant
+  /// b.cum == a.cum + b.count holds, so the in-range suffix sum of any
+  /// query is back().cum - predecessor.cum in O(1). Front evictions and
+  /// anchor shrinks leave cum untouched (only the implied start offset
+  /// front.cum - front.count moves), so maintenance is O(1) per push.
   struct Sample {
     Timestamp ts;
     uint64_t count;
+    uint64_t cum = 0;
   };
 
   /// One independent sampling structure. Public so the §5.2 merge

@@ -181,6 +181,27 @@ TYPED_TEST(CounterOracleTest, RandomizedSequencesStayInDocumentedBounds) {
     Oracle oracle;
     Rng rng(seed);
     Timestamp t = 1;
+    // One randomized (qnow, range) probe, checked against the oracle and
+    // the counter's documented budget. qnow may run ahead of the last
+    // arrival (a read clock between updates).
+    auto probe = [&](int op, Timestamp qnow) {
+      uint64_t range = 1 + rng.Uniform(kWindow + kWindow / 4);
+      double est = counter.Estimate(qnow, range);
+      uint64_t clamped = range > kWindow ? kWindow : range;
+      Timestamp boundary = WindowStart(qnow, clamped);
+      double truth = static_cast<double>(oracle.CountRange(boundary, qnow));
+      double budget = OracleTraits<TypeParam>::Budget(counter, oracle, qnow,
+                                                      boundary, truth);
+      ++checks;
+      if (std::abs(est - truth) > budget) {
+        ++violations;
+        if (!OracleTraits<TypeParam>::kRandomized) {
+          ADD_FAILURE() << "op=" << op << " qnow=" << qnow
+                        << " range=" << range << " est=" << est
+                        << " truth=" << truth << " budget=" << budget;
+        }
+      }
+    };
     for (int op = 0; op < kOpsPerSequence; ++op) {
       switch (rng.Uniform(8)) {
         case 0: {  // heavy weighted arrival
@@ -204,24 +225,12 @@ TYPED_TEST(CounterOracleTest, RandomizedSequencesStayInDocumentedBounds) {
           t += rng.Uniform(kWindow / 2);
           counter.Expire(t);
           break;
-        case 3: {  // query, occasionally over-length ranges
-          uint64_t range = 1 + rng.Uniform(kWindow + kWindow / 4);
-          double est = counter.Estimate(t, range);
-          uint64_t clamped = range > kWindow ? kWindow : range;
-          Timestamp boundary = WindowStart(t, clamped);
-          double truth =
-              static_cast<double>(oracle.CountRange(boundary, t));
-          double budget = OracleTraits<TypeParam>::Budget(counter, oracle, t,
-                                                          boundary, truth);
-          ++checks;
-          if (std::abs(est - truth) > budget) {
-            ++violations;
-            if (!OracleTraits<TypeParam>::kRandomized) {
-              ADD_FAILURE() << "seq=" << seq << " op=" << op
-                            << " range=" << range << " est=" << est
-                            << " truth=" << truth << " budget=" << budget;
-            }
-          }
+        case 3:  // single query, occasionally over-length ranges
+          probe(op, t);
+          break;
+        case 4: {  // query-heavy burst: random read clocks and ranges
+          Timestamp qnow = t + rng.Uniform(kWindow / 8);
+          for (int q = 0; q < 8; ++q) probe(op, qnow + rng.Uniform(16));
           break;
         }
         default: {  // light unit traffic

@@ -80,5 +80,18 @@ TEST(EquiWidthWindowTest, LifetimeTracksAllAdds) {
   EXPECT_EQ(ew.lifetime_count(), 12u);
 }
 
+TEST(EquiWidthWindowTest, SpanRoundsUpSoRingCoversWindow) {
+  // window % B != 0 with a floored span used to leave the (B+1)-slot ring
+  // covering only (B+1)·floor(window/B) < window ticks: the ring wrapped
+  // inside the window and silently overwrote in-window mass (window=100,
+  // B=60 covered just 61 ticks, dropping ~40% of a uniform stream).
+  EquiWidthWindow ew({100, 60});
+  EXPECT_EQ(ew.span(), 2u);  // ceil(100/60), not floor = 1
+  for (Timestamp t = 1; t <= 100; ++t) ew.Add(t);
+  // Full coverage: only the boundary slot's interpolation (< one span of
+  // mass) may be lost.
+  EXPECT_NEAR(ew.Estimate(100, 100), 100.0, 2.0);
+}
+
 }  // namespace
 }  // namespace ecm

@@ -80,6 +80,42 @@ TEST(HybridHistogramTest, WorksInsideEcmSketch) {
   EXPECT_NEAR(sketch.PointQuery(9, 40), 40.0, 5.0);
 }
 
+TEST(HybridHistogramTest, TailSpanRoundsUpSoRingCoversWindow) {
+  // (window - exact_len) % B != 0 with a floored span used to leave the
+  // tail ring covering less than the tail region: in-window demoted mass
+  // was silently overwritten on wrap (window=100, exact=10, B=60 covered
+  // 61 of the 90 tail ticks).
+  HybridHistogram hh({100, 10, 60});
+  EXPECT_EQ(hh.span(), 2u);  // ceil(90/60), not floor = 1
+  for (Timestamp t = 1; t <= 100; ++t) hh.Add(t);
+  EXPECT_NEAR(hh.Estimate(100, 100), 100.0, 2.0);
+}
+
+TEST(HybridHistogramTest, ExactWithinBufferEvenWhenTailSlotsStraddle) {
+  // A tail slot is wider than the gap between the demotion watermark and
+  // a query boundary inside the exact region; the watermark-clamped
+  // interpolation must keep all tail mass out of the exact region.
+  HybridHistogram hh({10000, 500, 16});  // span 594 > exact_len - range
+  for (Timestamp t = 1; t <= 9000; ++t) hh.Add(t, 2);
+  for (uint64_t range : {100u, 250u, 499u}) {
+    EXPECT_EQ(hh.Estimate(9000, range), static_cast<double>(2 * range))
+        << "range " << range;
+  }
+}
+
+TEST(HybridHistogramTest, WatermarkTracksExpireAheadOfAdds) {
+  // Expire(now) may demote with a clock ahead of the last Add; the tail
+  // interpolation watermark must follow the actual demotion, not
+  // last_timestamp(), or boundary slots holding freshly demoted mass get
+  // clamped to zero.
+  HybridHistogram hh({100, 10, 9});  // span 10
+  for (Timestamp t = 1; t <= 50; ++t) hh.Add(t);
+  hh.Expire(59);  // demotes ts <= 49 into the tail
+  // (40, 59] holds ts 41..50 = 10 arrivals; 41..49 sit in the tail slot
+  // [40, 50), which a stale watermark of 40 would zero out entirely.
+  EXPECT_NEAR(hh.Estimate(59, 19), 10.0, 1.5);
+}
+
 TEST(HybridHistogramTest, RandomAgainstReference) {
   HybridHistogram hh({10000, 500, 16});
   std::vector<Timestamp> stamps;

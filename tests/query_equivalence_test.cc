@@ -1,0 +1,320 @@
+// Estimate-equivalence suite for the PR-4 query-pipeline overhaul: every
+// new indexed/batched query path must reproduce the legacy scan
+// implementations exactly.
+//
+//  * ExponentialHistogram::Estimate (running-total fast path + single
+//    straddling-level search) vs EstimateScanReference — bit-identical;
+//  * RandomizedWave::Estimate (run prefix-sum lookup) vs
+//    EstimateScanReference — bit-identical (same integer sums), including
+//    after serialization round-trips and §5.2 k-way merges;
+//  * EcmSketch::InnerProduct/SelfJoin/EstimateL1 batched paths vs the
+//    per-cell double-Estimate loops — bit-identical (same values, same
+//    accumulation order), plus L1 memoization invalidation on update;
+//  * EcmSketch::PointQueryBatchAt vs per-key PointQueryAt;
+//  * DyadicEcm frontier heavy-hitter descent vs the recursive per-node
+//    group-testing descent — same keys, estimates and order.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/core/dyadic.h"
+#include "src/core/ecm_sketch.h"
+#include "src/util/random.h"
+#include "src/window/merge.h"
+
+namespace ecm {
+namespace {
+
+constexpr uint64_t kWindow = 4096;
+
+// Feeds a randomized weighted stream and cross-checks the fast and scan
+// estimates at random read clocks and ranges (including over-length).
+template <typename Counter, typename MakeFn>
+void CheckCounterEquivalence(MakeFn make, int streams, int ops) {
+  for (int s = 0; s < streams; ++s) {
+    Counter c = make(0xC0FFEE + static_cast<uint64_t>(s));
+    Rng rng(0xBEEF + static_cast<uint64_t>(s));
+    Timestamp t = 1;
+    for (int op = 0; op < ops; ++op) {
+      t += rng.Uniform(60);
+      c.Add(t, 1 + rng.Uniform(200));
+      if (rng.Uniform(4) == 0) c.Add(t, 1 + rng.Uniform(30));  // equal ts
+      Timestamp now = t + rng.Uniform(40);
+      for (int q = 0; q < 4; ++q) {
+        uint64_t range = 1 + rng.Uniform(kWindow + kWindow / 3);
+        ASSERT_EQ(c.Estimate(now, range), c.EstimateScanReference(now, range))
+            << "stream " << s << " op " << op << " now " << now << " range "
+            << range;
+      }
+    }
+  }
+}
+
+TEST(QueryEquivalenceTest, EhEstimateMatchesScanReference) {
+  CheckCounterEquivalence<ExponentialHistogram>(
+      [](uint64_t) {
+        return ExponentialHistogram({0.05, kWindow});
+      },
+      40, 120);
+}
+
+TEST(QueryEquivalenceTest, RwEstimateMatchesScanReference) {
+  CheckCounterEquivalence<RandomizedWave>(
+      [](uint64_t seed) {
+        RandomizedWave::Config cfg;
+        cfg.epsilon = 0.1;
+        cfg.delta = 0.1;
+        cfg.window_len = kWindow;
+        cfg.max_arrivals = 1 << 18;
+        cfg.seed = seed;
+        return RandomizedWave(cfg);
+      },
+      20, 120);
+}
+
+TEST(QueryEquivalenceTest, RwEstimateMatchesScanAfterRoundTrip) {
+  RandomizedWave::Config cfg;
+  cfg.epsilon = 0.1;
+  cfg.window_len = kWindow;
+  cfg.max_arrivals = 1 << 16;
+  cfg.seed = 17;
+  RandomizedWave rw(cfg);
+  Rng rng(99);
+  Timestamp t = 1;
+  for (int i = 0; i < 400; ++i) {
+    t += rng.Uniform(30);
+    rw.Add(t, 1 + rng.Uniform(100));
+  }
+  ByteWriter w;
+  rw.SerializeTo(&w);
+  ByteReader r(w.bytes());
+  auto back = RandomizedWave::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  const uint64_t ranges[] = {7, 133, 1024, kWindow};
+  for (uint64_t range : ranges) {
+    // The decoded wave's run cumulative counts must be consistent: its
+    // indexed estimate equals both its own scan and the original's.
+    EXPECT_EQ(back->Estimate(t, range), back->EstimateScanReference(t, range));
+    EXPECT_EQ(back->Estimate(t, range), rw.Estimate(t, range));
+  }
+}
+
+TEST(QueryEquivalenceTest, RwEstimateMatchesScanAfterMerge) {
+  std::vector<RandomizedWave> waves;
+  Rng rng(5);
+  Timestamp t = 1;
+  for (int i = 0; i < 3; ++i) {
+    RandomizedWave::Config cfg;
+    cfg.epsilon = 0.15;
+    cfg.window_len = kWindow;
+    cfg.max_arrivals = 1 << 14;
+    cfg.seed = 100 + static_cast<uint64_t>(i);
+    waves.emplace_back(cfg);
+  }
+  for (int op = 0; op < 600; ++op) {
+    t += rng.Uniform(20);
+    waves[rng.Uniform(3)].Add(t, 1 + rng.Uniform(50));
+  }
+  std::vector<const RandomizedWave*> inputs;
+  for (const auto& w : waves) inputs.push_back(&w);
+  auto merged = MergeRandomizedWaves(inputs, 0xFEED);
+  ASSERT_TRUE(merged.ok());
+  const uint64_t ranges[] = {19, 512, kWindow};
+  for (uint64_t range : ranges) {
+    // The k-way merged wave's cumulative counts must be consistent too.
+    EXPECT_EQ(merged->Estimate(t, range),
+              merged->EstimateScanReference(t, range));
+  }
+}
+
+// Builds a moderately loaded EH sketch for the sketch-level checks.
+EcmEh MakeLoadedSketch(uint64_t seed, Timestamp* now_out) {
+  auto cfg = EcmConfig::Create(0.1, 0.05, WindowMode::kTimeBased, kWindow,
+                               seed);
+  EXPECT_TRUE(cfg.ok());
+  EcmEh sketch(*cfg);
+  Rng rng(seed);
+  Timestamp t = 1;
+  for (int i = 0; i < 4000; ++i) {
+    t += rng.Uniform(3);
+    sketch.Add(rng.Uniform(500), t, 1 + rng.Uniform(8));
+  }
+  *now_out = t;
+  return sketch;
+}
+
+TEST(QueryEquivalenceTest, BatchedSelfJoinMatchesPerCellLoops) {
+  Timestamp now = 0;
+  EcmEh sketch = MakeLoadedSketch(21, &now);
+  const EcmConfig& cfg = sketch.config();
+  const uint64_t ranges[] = {64, 777, kWindow};
+  for (uint64_t range : ranges) {
+    // Per-cell reference with the new counter estimates (exercises the
+    // batching plumbing alone) ...
+    double ref_new = std::numeric_limits<double>::infinity();
+    // ... and with the legacy scans (the full pre-PR4 pipeline).
+    double ref_legacy = std::numeric_limits<double>::infinity();
+    for (int j = 0; j < cfg.depth; ++j) {
+      double row_new = 0.0, row_legacy = 0.0;
+      for (uint32_t i = 0; i < cfg.width; ++i) {
+        const ExponentialHistogram& c = sketch.CounterAt(j, i);
+        row_new += c.Estimate(now, range) * c.Estimate(now, range);
+        row_legacy += c.EstimateScanReference(now, range) *
+                      c.EstimateScanReference(now, range);
+      }
+      ref_new = std::min(ref_new, row_new);
+      ref_legacy = std::min(ref_legacy, row_legacy);
+    }
+    double batched = sketch.InnerProductAt(sketch, range, now).value();
+    EXPECT_EQ(batched, ref_new) << "range " << range;
+    EXPECT_EQ(batched, ref_legacy) << "range " << range;
+  }
+}
+
+TEST(QueryEquivalenceTest, BatchedInnerProductMatchesPerCellLoop) {
+  Timestamp now_a = 0, now_b = 0;
+  EcmEh a = MakeLoadedSketch(31, &now_a);
+  EcmEh b = MakeLoadedSketch(31, &now_b);  // same seed: compatible configs
+  // Different contents.
+  Rng rng(77);
+  Timestamp t = now_b;
+  for (int i = 0; i < 1000; ++i) {
+    t += rng.Uniform(2);
+    b.Add(rng.Uniform(300), t, 1 + rng.Uniform(5));
+  }
+  Timestamp now = std::max(now_a, t);
+  const EcmConfig& cfg = a.config();
+  const uint64_t ranges[] = {128, kWindow};
+  for (uint64_t range : ranges) {
+    double ref = std::numeric_limits<double>::infinity();
+    for (int j = 0; j < cfg.depth; ++j) {
+      double row = 0.0;
+      for (uint32_t i = 0; i < cfg.width; ++i) {
+        row += a.CounterAt(j, i).Estimate(now, range) *
+               b.CounterAt(j, i).Estimate(now, range);
+      }
+      ref = std::min(ref, row);
+    }
+    EXPECT_EQ(a.InnerProductAt(b, range, now).value(), ref)
+        << "range " << range;
+  }
+}
+
+TEST(QueryEquivalenceTest, EstimateL1MatchesPerCellSweepAndInvalidates) {
+  Timestamp now = 0;
+  EcmEh sketch = MakeLoadedSketch(41, &now);
+  const EcmConfig& cfg = sketch.config();
+  auto reference = [&](uint64_t range, Timestamp at) {
+    double total = 0.0;
+    for (int j = 0; j < cfg.depth; ++j) {
+      for (uint32_t i = 0; i < cfg.width; ++i) {
+        total += sketch.CounterAt(j, i).Estimate(at, range);
+      }
+    }
+    return total / cfg.depth;
+  };
+  const uint64_t ranges[] = {100, kWindow};
+  for (uint64_t range : ranges) {
+    double first = sketch.EstimateL1At(range, now);
+    EXPECT_EQ(first, reference(range, now));
+    // Memoized second call returns the identical value.
+    EXPECT_EQ(sketch.EstimateL1At(range, now), first);
+  }
+  // An update must invalidate the memo: the cached (now, range) pair
+  // would otherwise serve a stale total.
+  double before = sketch.EstimateL1At(kWindow, now);
+  sketch.Add(7, now + 1, 1000);
+  double after = sketch.EstimateL1At(kWindow, now + 1);
+  EXPECT_EQ(after, reference(kWindow, now + 1));
+  EXPECT_NE(after, before);
+}
+
+TEST(QueryEquivalenceTest, PointQueryBatchMatchesPerKeyQueries) {
+  Timestamp now = 0;
+  EcmEh sketch = MakeLoadedSketch(51, &now);
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 0; k < 257; ++k) keys.push_back(k * 31 % 500);
+  std::vector<double> batched(keys.size());
+  const uint64_t ranges[] = {64, kWindow};
+  for (uint64_t range : ranges) {
+    sketch.PointQueryBatchAt(keys.data(), keys.size(), range, now,
+                             batched.data());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      EXPECT_EQ(batched[i], sketch.PointQueryAt(keys[i], range, now))
+          << "key " << keys[i] << " range " << range;
+    }
+  }
+}
+
+// Reference recursive per-node descent (the pre-PR4 implementation),
+// rebuilt on the public API.
+template <typename Counter>
+void DescendReference(const DyadicEcm<Counter>& dy, int level,
+                      uint64_t prefix, double threshold, uint64_t range,
+                      std::vector<HeavyHitter>* out) {
+  const auto& sketch = dy.level(level);
+  double est = sketch.PointQueryAt(prefix, range, sketch.Now());
+  if (est < threshold) return;
+  if (level == 0) {
+    out->push_back(HeavyHitter{prefix, est});
+    return;
+  }
+  DescendReference(dy, level - 1, prefix * 2, threshold, range, out);
+  DescendReference(dy, level - 1, prefix * 2 + 1, threshold, range, out);
+}
+
+TEST(QueryEquivalenceTest, FrontierHeavyHittersMatchRecursiveDescent) {
+  auto dy = DyadicEcm<ExponentialHistogram>::Create(
+      12, 0.05, 0.05, WindowMode::kTimeBased, kWindow, 9);
+  ASSERT_TRUE(dy.ok());
+  Rng rng(13);
+  Timestamp t = 1;
+  for (int i = 0; i < 20000; ++i) {
+    t += rng.Uniform(2);
+    // Skewed keys so some prefixes are heavy.
+    uint64_t key = rng.Uniform(8) == 0 ? rng.Uniform(5) : rng.Uniform(4000);
+    dy->Add(key, t);
+  }
+  for (double threshold : {200.0, 1000.0}) {
+    auto fast = dy->HeavyHittersAbsolute(threshold, kWindow);
+    std::vector<HeavyHitter> ref;
+    DescendReference(*dy, dy->domain_bits() - 1, 0, threshold, kWindow, &ref);
+    DescendReference(*dy, dy->domain_bits() - 1, 1, threshold, kWindow, &ref);
+    ASSERT_EQ(fast.size(), ref.size()) << "threshold " << threshold;
+    for (size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(fast[i].key, ref[i].key);
+      EXPECT_EQ(fast[i].estimate, ref[i].estimate);
+    }
+  }
+}
+
+TEST(QueryEquivalenceTest, RangeQueryMatchesPerRangeSum) {
+  auto dy = DyadicEcm<ExponentialHistogram>::Create(
+      10, 0.05, 0.05, WindowMode::kTimeBased, kWindow, 4);
+  ASSERT_TRUE(dy.ok());
+  Rng rng(23);
+  Timestamp t = 1;
+  for (int i = 0; i < 8000; ++i) {
+    t += rng.Uniform(2);
+    dy->Add(rng.Uniform(1000), t);
+  }
+  for (int q = 0; q < 50; ++q) {
+    uint64_t lo = rng.Uniform(1000);
+    uint64_t hi = lo + rng.Uniform(1000);
+    double ref = 0.0;
+    for (const DyadicRange& r : DyadicDecompose(lo, hi, dy->domain_bits())) {
+      const auto& sketch = dy->level(r.level);
+      ref += sketch.PointQueryAt(r.prefix, kWindow, sketch.Now());
+    }
+    // The grouped-by-level batch sums in a different order; allow FP
+    // reassociation noise only.
+    EXPECT_NEAR(dy->RangeQuery(lo, hi, kWindow), ref, 1e-6 * (1.0 + ref));
+  }
+}
+
+}  // namespace
+}  // namespace ecm
