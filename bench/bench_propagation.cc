@@ -8,9 +8,12 @@
 // arrivals represents.
 
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "src/dist/periodic.h"
+#include "src/dist/runtime.h"
+#include "src/util/timer.h"
 
 namespace ecm::bench {
 namespace {
@@ -86,6 +89,44 @@ void Run() {
       "\nexpected shape: bytes fall ~linearly with the period / drift "
       "budget; the stale view's error stays within the configured eps "
       "plus one staleness quantum of window content\n");
+
+  // Sharded multi-threaded ingest: scheduled propagation is site-local,
+  // so ParallelIngest needs no sync barrier at all — pushes ship through
+  // the thread-safe transport from each worker.
+  PrintHeader(
+      "ParallelIngest scaling: sharded multi-threaded scheduled "
+      "propagation (8 sites, period=2000, batch=1024)",
+      {"workers", "events/s", "pushes", "speedup_vs_1"});
+  auto pevents = events;
+  for (auto& e : pevents) e.node %= kSites;
+  double base_rate = 0.0;
+  for (int workers : {1, 2, 4, 8}) {
+    PeriodicAggregator::Config pcfg;
+    pcfg.period = 2'000;
+    PeriodicAggregator agg(kSites, *scfg, pcfg);
+    ParallelIngestOptions opts;
+    opts.num_workers = workers;
+    opts.batch_size = 1024;
+    opts.final_sync = false;
+    Timer timer;
+    ParallelIngest(
+        pevents, kSites,
+        [&agg](int site, const StreamEvent& e) {
+          agg.Process(site, e.key, e.ts);
+          return false;
+        },
+        [] {}, opts);
+    double rate = static_cast<double>(pevents.size()) / timer.ElapsedSeconds();
+    if (workers == 1) base_rate = rate;
+    RecordBenchResult("prop/parallel-ingest/w" + std::to_string(workers),
+                      rate);
+    PrintRow({std::to_string(workers), FormatDouble(rate, 0),
+              std::to_string(agg.stats().pushes),
+              FormatDouble(base_rate > 0 ? rate / base_rate : 0.0, 2)});
+  }
+  std::printf(
+      "expected shape: near-linear scaling (no cross-site coordination; "
+      "push counts identical at every worker count)\n");
 }
 
 }  // namespace

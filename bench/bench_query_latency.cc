@@ -137,6 +137,55 @@ double MeasurePointQueriesBatched(const EcmSketch<Counter>& sketch,
   return rate;
 }
 
+struct AblationPair {
+  double fast = 0.0;
+  double legacy = 0.0;
+};
+
+// --- large-frontier batched point queries: bucket-sorted vs scalar ---------
+
+// PR-5 ablation: at large frontier sizes the per-row counting sort makes
+// the counter walk sequential and lets column-colliding keys share one
+// Estimate (frontier >> width means dozens of keys per column); results
+// are bit-identical to the arrival-order sweep. The win tracks the
+// per-estimate cost: partial ranges pay a straddling-level binary search
+// per counter, full-coverage probes are O(1) off the running total since
+// PR 4 — both regimes are recorded.
+template <SlidingWindowCounter Counter>
+AblationPair MeasureBatchBucketSort(const EcmSketch<Counter>& sketch,
+                                    size_t frontier, size_t sweeps,
+                                    uint64_t range, const char* regime) {
+  Rng rng(7);
+  std::vector<uint64_t> keys(frontier);
+  for (auto& k : keys) k = rng.Uniform(1 << 16);
+  std::vector<double> out(frontier);
+  const Timestamp now = sketch.Now();
+  AblationPair res;
+  {
+    Timer timer;
+    for (size_t i = 0; i < sweeps; ++i) {
+      sketch.PointQueryBatchAt(keys.data(), frontier, range, now, out.data());
+      g_sink += out[i % frontier];
+    }
+    res.fast = static_cast<double>(sweeps * frontier) / timer.ElapsedSeconds();
+  }
+  {
+    Timer timer;
+    for (size_t i = 0; i < sweeps; ++i) {
+      sketch.PointQueryBatchScalarAt(keys.data(), frontier, range, now,
+                                     out.data());
+      g_sink += out[i % frontier];
+    }
+    res.legacy =
+        static_cast<double>(sweeps * frontier) / timer.ElapsedSeconds();
+  }
+  std::string base = std::string("query/point-batch-sort/ECM-") +
+                     std::string(CounterName<Counter>()) + "/" + regime;
+  RecordBenchResult(base + "/bucketed", res.fast, 0.0);
+  RecordBenchResult(base + "/scalar", res.legacy, 0.0);
+  return res;
+}
+
 // --- self-join / L1: batched vs legacy per-cell scans ----------------------
 
 // The pre-PR4 SelfJoin: two independent per-counter scan estimates per
@@ -166,11 +215,6 @@ double LegacyL1(const EcmEh& sketch, uint64_t range, Timestamp now) {
   }
   return total / cfg.depth;
 }
-
-struct AblationPair {
-  double fast = 0.0;
-  double legacy = 0.0;
-};
 
 template <typename FastFn, typename LegacyFn>
 AblationPair MeasureAblation(const char* name, size_t fast_calls,
@@ -340,6 +384,23 @@ void Run() {
   double dw_pq = MeasurePointQueries(*dw, events, kQ);
   double dw_pqb = MeasurePointQueriesBatched(*dw, events, kQ);
   PrintRow({"ECM-DW", FormatDouble(dw_pq, 0), FormatDouble(dw_pqb, 0)});
+
+  PrintHeader(
+      "Large-frontier batched point queries, 4096 keys "
+      "(keys/second): per-row bucket sort vs arrival-order sweep",
+      {"regime", "bucketed", "scalar", "speedup"});
+  AblationPair bsp = MeasureBatchBucketSort(
+      *eh, /*frontier=*/4096, std::max<size_t>(kQ / 4096, 4),
+      /*range=*/kWindow / 2, "partial");
+  PrintRow({"partial range (w/2)", FormatDouble(bsp.fast, 0),
+            FormatDouble(bsp.legacy, 0),
+            FormatDouble(bsp.legacy > 0 ? bsp.fast / bsp.legacy : 0.0, 2)});
+  AblationPair bsf = MeasureBatchBucketSort(
+      *eh, /*frontier=*/4096, std::max<size_t>(kQ / 4096, 4),
+      /*range=*/kWindow, "full");
+  PrintRow({"full window", FormatDouble(bsf.fast, 0),
+            FormatDouble(bsf.legacy, 0),
+            FormatDouble(bsf.legacy > 0 ? bsf.fast / bsf.legacy : 0.0, 2)});
 
   PrintHeader(
       "SelfJoin / EstimateL1 (calls/second): batched single-estimate "

@@ -1,6 +1,7 @@
-// Order-preserving aggregation walkthrough (§5): serializing per-site
-// sketches, shipping them up a tree, and what the merge costs in error
-// and bytes — including the count-based impossibility (Fig. 2).
+// Order-preserving aggregation walkthrough (§5) on the shared runtime:
+// multi-threaded per-site ingest, serializing sketches for the wire,
+// shipping them up a tree through the Transport, and what the merge costs
+// in error and bytes — including the count-based impossibility (Fig. 2).
 //
 //   $ ./example_distributed_aggregation
 
@@ -8,9 +9,10 @@
 #include <cstdio>
 
 #include "src/core/ecm_sketch.h"
-#include "src/dist/aggregation_tree.h"
+#include "src/dist/runtime.h"
 #include "src/dist/serialize.h"
 #include "src/stream/snmp_like.h"
+#include "src/util/timer.h"
 
 using namespace ecm;
 
@@ -29,30 +31,46 @@ int main() {
   auto events = GenerateSnmpLike(sc);
   Timestamp now = events.back().ts;
 
-  // 1. Each AP summarizes its local stream.
-  std::vector<EcmSketch<ExponentialHistogram>> aps(
-      kAps, EcmSketch<ExponentialHistogram>(*cfg));
-  for (const auto& e : events) aps[e.node].Add(e.key, e.ts);
-  for (auto& s : aps) s.AdvanceTo(now);
+  // 1. One runtime: 64 AP sites under a coordinator, one transport
+  //    charging every transfer. Ingest runs sharded and multi-threaded.
+  LoopbackTransport transport;
+  Coordinator<ExponentialHistogram> coord(kAps, *cfg, &transport);
+  Timer timer;
+  auto report = ParallelIngest(
+      events, kAps,
+      [&coord](int site, const StreamEvent& e) {
+        coord.site(site).Ingest(e.key, e.ts);
+        return false;  // plain ingest: no sync barrier needed
+      },
+      [] {}, ParallelIngestOptions{/*num_workers=*/0, /*batch_size=*/4'096,
+                                   /*final_sync=*/false});
+  std::printf("ingested %" PRIu64 " SNMP records into %d AP sites with %d "
+              "workers (%.1fM records/s)\n",
+              report.events, kAps, report.workers,
+              static_cast<double>(report.events) / timer.ElapsedSeconds() /
+                  1e6);
+  for (int i = 0; i < kAps; ++i) {
+    coord.site(i).mutable_sketch().AdvanceTo(now);
+  }
 
   // 2. Wire path: what one AP ships to its parent.
-  auto wire = SerializeSketch(aps[0]);
-  std::printf("per-AP sketch: %u x %d counters, %.1f KB on the wire\n",
+  auto wire = SerializeSketch(coord.site(0).sketch());
+  std::printf("\nper-AP sketch: %u x %d counters, %.1f KB on the wire\n",
               cfg->width, cfg->depth, wire.size() / 1024.0);
   auto back = DeserializeSketch<ExponentialHistogram>(wire);
   if (!back.ok()) return 1;
   std::printf("round-trip check: key 1 estimate %.0f == %.0f\n",
               back->PointQueryAt(1, kWindowMs, now),
-              aps[0].PointQueryAt(1, kWindowMs, now));
+              coord.site(0).sketch().PointQueryAt(1, kWindowMs, now));
 
-  // 3. Full tree aggregation with exact byte accounting.
-  auto agg = AggregateTree(aps);
+  // 3. Full tree aggregation through the runtime's transport.
+  auto agg = coord.AggregateUp();
   if (!agg.ok()) return 1;
   std::printf(
       "\naggregated %d APs in %d rounds: %" PRIu64 " messages, %.1f KB "
-      "total transfer\n",
-      kAps, agg->height, agg->network.messages,
-      agg->network.bytes / 1024.0);
+      "total transfer (transport agrees: %" PRIu64 " msgs, %.1f KB)\n",
+      kAps, agg->height, agg->network.messages, agg->network.bytes / 1024.0,
+      transport.stats().messages, transport.stats().bytes / 1024.0);
 
   // 4. Error cost of the lossy merge (Theorem 4 / §5.1 multi-level).
   double bound = MultiLevelErrorBound(cfg->epsilon_sw, agg->height);

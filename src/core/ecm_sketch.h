@@ -25,6 +25,7 @@
 #define ECM_CORE_ECM_SKETCH_H_
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
 #include <cstdint>
@@ -194,9 +195,55 @@ class EcmSketch {
   /// key fills all row buckets up front; the estimation pass then sweeps
   /// the counter array row-major (each row's counters are contiguous),
   /// taking per-key minima — the access pattern the dyadic heavy-hitter
-  /// frontier descent batches its sibling probes through.
+  /// frontier descent batches its sibling probes through. Large
+  /// frontiers additionally bucket-sort the keys inside each row so the
+  /// counter accesses walk the row in ascending column order (and
+  /// column-colliding keys share one Estimate); per-key results are
+  /// bit-identical either way, because each estimate is independent and
+  /// the per-key min is order-free.
   void PointQueryBatchAt(const uint64_t* keys, size_t n, uint64_t range,
                          Timestamp now, double* out) const {
+    if (n < kBatchBucketSortThreshold) {
+      PointQueryBatchScalarAt(keys, n, range, now, out);
+      return;
+    }
+    const size_t depth = static_cast<size_t>(config_.depth);
+    static thread_local std::vector<uint32_t> cols;
+    cols.resize(n * depth);
+    for (size_t k = 0; k < n; ++k) {
+      hashes_.BucketsMixed(keys[k], config_.width, &cols[k * depth]);
+    }
+    std::fill(out, out + n, std::numeric_limits<double>::infinity());
+    static thread_local std::vector<uint32_t> starts;  // counting sort
+    static thread_local std::vector<uint32_t> order;
+    order.resize(n);
+    for (size_t j = 0; j < depth; ++j) {
+      starts.assign(config_.width + 1, 0);
+      for (size_t k = 0; k < n; ++k) ++starts[cols[k * depth + j] + 1];
+      for (uint32_t c = 0; c < config_.width; ++c) starts[c + 1] += starts[c];
+      for (size_t k = 0; k < n; ++k) {
+        order[starts[cols[k * depth + j]]++] = static_cast<uint32_t>(k);
+      }
+      const Counter* row = &counters_[j * config_.width];
+      uint32_t prev_col = std::numeric_limits<uint32_t>::max();
+      double prev_est = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const size_t k = order[i];
+        const uint32_t col = cols[k * depth + j];
+        if (col != prev_col) {
+          prev_col = col;
+          prev_est = row[col].Estimate(now, range);
+        }
+        out[k] = std::min(out[k], prev_est);
+      }
+    }
+  }
+
+  /// The arrival-order batched reference: per-row sweep over the keys in
+  /// caller order, one Estimate per (key, row). Kept as the ablation
+  /// baseline for the bucket-sorted path above (bit-identical output).
+  void PointQueryBatchScalarAt(const uint64_t* keys, size_t n, uint64_t range,
+                               Timestamp now, double* out) const {
     static thread_local std::vector<uint32_t> cols;
     cols.resize(n * static_cast<size_t>(config_.depth));
     for (size_t k = 0; k < n; ++k) {
@@ -226,14 +273,25 @@ class EcmSketch {
   /// All d per-row contributions of `key` at once (out[0..depth)): the
   /// statistics vector of the geometric point monitor, materialized with
   /// a single Mix64 pass instead of one hash per row. out[j] ==
-  /// PointQueryRowAt(key, j, range, now).
+  /// PointQueryRowAt(key, j, range, now). When `cols_out` is non-null it
+  /// additionally receives the key's d row buckets — the incremental
+  /// drift tracker (dist/geometric.h) uses them to locate the touched
+  /// statistics-vector entries without a second hash pass.
   void PointQueryRowsAt(uint64_t key, uint64_t range, Timestamp now,
-                        double* out) const {
+                        double* out, uint32_t* cols_out = nullptr) const {
     uint32_t cols[kMaxSketchDepth];
     hashes_.BucketsMixed(key, config_.width, cols);
     for (int j = 0; j < config_.depth; ++j) {
       out[j] = CounterAt(j, cols[j]).Estimate(now, range);
+      if (cols_out) cols_out[j] = cols[j];
     }
+  }
+
+  /// The d row buckets of `key` (cols[0..depth)), from one Mix64 pass —
+  /// the hook drift trackers use to find which counter cell an arrival
+  /// touched in each row.
+  void RowBuckets(uint64_t key, uint32_t* cols) const {
+    hashes_.BucketsMixed(key, config_.width, cols);
   }
 
   /// Estimated inner product a_r ⊙ b_r of this sketch's stream with
@@ -287,24 +345,49 @@ class EcmSketch {
   /// window-counter error; averaging cancels much of it).
   double EstimateL1(uint64_t range) const { return EstimateL1At(range, Now()); }
 
-  /// The result for a given (now, range) is memoized until the next
-  /// update (Add/AdvanceTo/RestoreClock or direct counter mutation), so
-  /// repeated window-total probes — the dyadic stack's ratio-threshold
-  /// pruning, quantile binary searches — are O(1) after the first.
+  /// Results are memoized per (now, range) until the next update
+  /// (Add/AdvanceTo/RestoreClock or direct counter mutation), so repeated
+  /// window-total probes — the dyadic stack's ratio-threshold pruning,
+  /// quantile binary searches — are O(1) after the first. The memo is a
+  /// small LRU (kL1CacheEntries slots), so dashboards that interleave
+  /// several range ladders between updates do not thrash it.
   double EstimateL1At(uint64_t range, Timestamp now) const {
-    if (l1_cache_.valid && l1_cache_.version == version_ &&
-        l1_cache_.now == now && l1_cache_.range == range) {
-      return l1_cache_.value;
+    for (L1Cache& e : l1_cache_) {
+      if (e.valid && e.version == version_ && e.now == now &&
+          e.range == range) {
+        e.stamp = ++l1_clock_;
+        ++l1_hits_;
+        return e.value;
+      }
     }
+    ++l1_misses_;
     double total = 0.0;
     for (int j = 0; j < config_.depth; ++j) {
       for (uint32_t i = 0; i < config_.width; ++i) {
         total += CounterAt(j, i).Estimate(now, range);
       }
     }
-    l1_cache_ = L1Cache{version_, now, range, total / config_.depth, true};
-    return l1_cache_.value;
+    // Evict a stale slot if any survives (entries from old versions are
+    // dead weight), else the least recently used one.
+    L1Cache* victim = &l1_cache_[0];
+    for (L1Cache& e : l1_cache_) {
+      if (!e.valid || e.version != version_) {
+        victim = &e;
+        break;
+      }
+      if (e.stamp < victim->stamp) victim = &e;
+    }
+    *victim =
+        L1Cache{version_, now, range, total / config_.depth, ++l1_clock_, true};
+    return victim->value;
   }
+
+  /// Hit/miss telemetry of the L1 memo (regression-tested).
+  struct L1CacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+  L1CacheStats l1_cache_stats() const { return {l1_hits_, l1_misses_}; }
 
   /// Materializes row `row`'s counter estimates at (now, range) into
   /// out[0..width) — the batched query primitive shared by
@@ -452,8 +535,8 @@ class EcmSketch {
     }
   }
 
-  // Memoized EstimateL1At result, keyed on the sketch's update version
-  // and the query's (now, range). `mutable` because queries are
+  // One slot of the EstimateL1At LRU, keyed on the sketch's update
+  // version and the query's (now, range). `mutable` because queries are
   // logically const; like the thread_local query scratch, concurrent
   // queries on one sketch instance are not supported (updates never
   // were).
@@ -462,8 +545,15 @@ class EcmSketch {
     Timestamp now = 0;
     uint64_t range = 0;
     double value = 0.0;
+    uint64_t stamp = 0;  // LRU age (l1_clock_ at last touch)
     bool valid = false;
   };
+  static constexpr size_t kL1CacheEntries = 8;
+
+  // Below this frontier size the batched point query runs the plain
+  // arrival-order sweep; the counting sort only pays off once the row
+  // walk stops fitting comfortably in cache.
+  static constexpr size_t kBatchBucketSortThreshold = 64;
 
   EcmConfig config_;
   HashFamily hashes_;
@@ -472,7 +562,10 @@ class EcmSketch {
   Timestamp last_ts_ = 0;
   uint64_t l1_lifetime_ = 0;
   uint64_t version_ = 0;  // bumped on every state mutation
-  mutable L1Cache l1_cache_;
+  mutable std::array<L1Cache, kL1CacheEntries> l1_cache_{};
+  mutable uint64_t l1_clock_ = 0;
+  mutable uint64_t l1_hits_ = 0;
+  mutable uint64_t l1_misses_ = 0;
 };
 
 /// The paper's three variants plus the collision-only testing variant.

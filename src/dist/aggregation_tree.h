@@ -14,12 +14,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <utility>
 #include <vector>
 
 #include "src/core/ecm_sketch.h"
 #include "src/dist/network_stats.h"
 #include "src/dist/serialize.h"
+#include "src/dist/transport.h"
 #include "src/util/result.h"
 
 namespace ecm {
@@ -44,48 +46,76 @@ struct AggregationResult {
   NetworkStats network;     ///< exact transfer accounting
 };
 
-/// Aggregates per-site sketches up a balanced binary tree. `eps_prime_sw`
-/// is the window error parameter of every merge level (Theorem 4's ε');
-/// defaults to the leaves' own ε_sw. Requires at least one leaf and
-/// mutually compatible, time-based sketches (count-based merges are
-/// impossible, paper Fig. 2 — EcmSketch::Merge rejects them).
+/// Aggregates per-site sketches (by pointer — no leaf copies) up a
+/// balanced binary tree. `eps_prime_sw` is the window error parameter of
+/// every merge level (Theorem 4's ε'); defaults to the leaves' own ε_sw.
+/// Requires at least one leaf and mutually compatible, time-based
+/// sketches (count-based merges are impossible, paper Fig. 2 —
+/// EcmSketch::Merge rejects them).
+///
+/// Every merge ships both children; the transfers are charged to the
+/// result's NetworkStats and, when a `transport` is given, also through
+/// it — the runtime's single accounting currency (dist/transport.h).
 template <SlidingWindowCounter Counter>
-Result<AggregationResult<Counter>> AggregateTree(
-    const std::vector<EcmSketch<Counter>>& leaves,
-    double eps_prime_sw = -1.0) {
+Result<AggregationResult<Counter>> AggregateTreePtrs(
+    const std::vector<const EcmSketch<Counter>*>& leaves,
+    double eps_prime_sw = -1.0, Transport* transport = nullptr) {
   if (leaves.empty()) {
     return Status::InvalidArgument("AggregateTree: no leaves");
   }
   const double eps =
-      eps_prime_sw > 0.0 ? eps_prime_sw : leaves[0].config().epsilon_sw;
+      eps_prime_sw > 0.0 ? eps_prime_sw : leaves[0]->config().epsilon_sw;
   if (leaves.size() == 1) {
-    return AggregationResult<Counter>{leaves[0], 0, NetworkStats{}};
+    return AggregationResult<Counter>{*leaves[0], 0, NetworkStats{}};
   }
 
-  std::vector<EcmSketch<Counter>> level(leaves.begin(), leaves.end());
+  std::vector<const EcmSketch<Counter>*> level = leaves;
+  // Owns every merged intermediate; deque keeps their addresses stable
+  // while pointers to them ride up the tree.
+  std::deque<EcmSketch<Counter>> arena;
   NetworkStats net;
   int height = 0;
-  const uint64_t seed_base = leaves[0].config().seed;
+  const uint64_t seed_base = leaves[0]->config().seed;
   while (level.size() > 1) {
     ++height;
-    std::vector<EcmSketch<Counter>> next;
+    std::vector<const EcmSketch<Counter>*> next;
     next.reserve((level.size() + 1) / 2);
     size_t i = 0;
     for (; i + 1 < level.size(); i += 2) {
+      const size_t left = SketchWireSize(*level[i]);
+      const size_t right = SketchWireSize(*level[i + 1]);
       net.messages += 2;
-      net.bytes += SketchWireSize(level[i]) + SketchWireSize(level[i + 1]);
+      net.bytes += left + right;
+      if (transport) {
+        const NodeId parent = static_cast<NodeId>(i / 2);
+        transport->Send(static_cast<NodeId>(i), parent, left);
+        transport->Send(static_cast<NodeId>(i + 1), parent, right);
+      }
       auto merged = EcmSketch<Counter>::Merge(
-          {&level[i], &level[i + 1]}, eps,
+          {level[i], level[i + 1]}, eps,
           Mix64(seed_base ^ (0x5851F42D4C957F2DULL * (height * 4096 + i + 1))));
       if (!merged.ok()) return merged.status();
-      next.push_back(std::move(*merged));
+      arena.push_back(std::move(*merged));
+      next.push_back(&arena.back());
     }
     if (i < level.size()) {
-      next.push_back(std::move(level[i]));  // odd survivor rides up for free
+      next.push_back(level[i]);  // odd survivor rides up for free
     }
     level = std::move(next);
   }
-  return AggregationResult<Counter>{std::move(level[0]), height, net};
+  // With >= 2 leaves the root is always the last merge, owned by the arena.
+  return AggregationResult<Counter>{std::move(arena.back()), height, net};
+}
+
+/// Value-vector convenience wrapper over AggregateTreePtrs.
+template <SlidingWindowCounter Counter>
+Result<AggregationResult<Counter>> AggregateTree(
+    const std::vector<EcmSketch<Counter>>& leaves, double eps_prime_sw = -1.0,
+    Transport* transport = nullptr) {
+  std::vector<const EcmSketch<Counter>*> ptrs;
+  ptrs.reserve(leaves.size());
+  for (const auto& leaf : leaves) ptrs.push_back(&leaf);
+  return AggregateTreePtrs(ptrs, eps_prime_sw, transport);
 }
 
 }  // namespace ecm

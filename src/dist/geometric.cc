@@ -1,220 +1,13 @@
 #include "src/dist/geometric.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-
 namespace ecm {
-namespace {
 
-// Ball geometry shared by both monitors: center c = e + δ/2, radius
-// r = ‖δ‖/2. Returns (c, r) given the drift δ = current − at_sync.
-double BallCenterAndRadius(const std::vector<double>& current,
-                           const std::vector<double>& at_sync,
-                           const std::vector<double>& e_avg,
-                           std::vector<double>* center) {
-  const size_t dim = current.size();
-  center->resize(dim);
-  double radius_sq = 0.0;
-  for (size_t k = 0; k < dim; ++k) {
-    const double drift = current[k] - at_sync[k];
-    radius_sq += drift * drift;
-    (*center)[k] = e_avg[k] + 0.5 * drift;
-  }
-  return 0.5 * std::sqrt(radius_sq);
-}
-
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// GeometricSelfJoinMonitor: f(v) = min over rows of Σ_col v², the F₂
-// estimate of the (average) statistics vector.
-// ---------------------------------------------------------------------------
-
-GeometricSelfJoinMonitor::GeometricSelfJoinMonitor(
-    int num_sites, const EcmConfig& sketch_config, const Config& config)
-    : sketch_config_(sketch_config), config_(config) {
-  const size_t n = static_cast<size_t>(num_sites);
-  sites_.reserve(n);
-  for (size_t i = 0; i < n; ++i) sites_.emplace_back(sketch_config_);
-  const size_t dim =
-      static_cast<size_t>(sketch_config_.width) * sketch_config_.depth;
-  v_sync_.assign(n, std::vector<double>(dim, 0.0));
-  e_avg_.assign(dim, 0.0);
-  site_updates_.assign(n, 0);
-}
-
-std::vector<double> GeometricSelfJoinMonitor::SiteVector(int site) const {
-  const EcmSketch<ExponentialHistogram>& sketch =
-      sites_[static_cast<size_t>(site)];
-  const size_t width = sketch_config_.width;
-  std::vector<double> out(width * static_cast<size_t>(sketch_config_.depth));
-  const Timestamp now = sketch.Now();
-  for (int row = 0; row < sketch_config_.depth; ++row) {
-    // Batched row materialization straight into the statistics vector —
-    // no per-row temporaries.
-    sketch.EstimateRowAt(row, sketch_config_.window_len, now,
-                         &out[static_cast<size_t>(row) * width]);
-  }
-  return out;
-}
-
-bool GeometricSelfJoinMonitor::SphereViolation(
-    const std::vector<double>& current,
-    const std::vector<double>& at_sync) const {
-  const double n = static_cast<double>(sites_.size());
-  const double threshold_avg = config_.threshold / (n * n);
-  std::vector<double> center;
-  const double radius = BallCenterAndRadius(current, at_sync, e_avg_, &center);
-
-  // f bound over the ball, row by row: max is at most min_row (‖c_row‖+r)²
-  // and min is at least min_row (‖c_row‖−r)₊².
-  double bound = std::numeric_limits<double>::infinity();
-  const uint32_t width = sketch_config_.width;
-  for (int row = 0; row < sketch_config_.depth; ++row) {
-    double norm_sq = 0.0;
-    for (uint32_t col = 0; col < width; ++col) {
-      const double v = center[static_cast<size_t>(row) * width + col];
-      norm_sq += v * v;
-    }
-    const double norm = std::sqrt(norm_sq);
-    const double extreme =
-        above_ ? std::max(norm - radius, 0.0) : norm + radius;
-    bound = std::min(bound, extreme * extreme);
-  }
-  return above_ ? bound < threshold_avg : bound >= threshold_avg;
-}
-
-void GeometricSelfJoinMonitor::Sync() {
-  const size_t n = sites_.size();
-  const size_t dim = e_avg_.size();
-  std::fill(e_avg_.begin(), e_avg_.end(), 0.0);
-  for (size_t i = 0; i < n; ++i) {
-    v_sync_[i] = SiteVector(static_cast<int>(i));
-    for (size_t k = 0; k < dim; ++k) e_avg_[k] += v_sync_[i][k];
-  }
-  for (double& v : e_avg_) v /= static_cast<double>(n);
-
-  double f_avg = std::numeric_limits<double>::infinity();
-  const uint32_t width = sketch_config_.width;
-  for (int row = 0; row < sketch_config_.depth; ++row) {
-    double norm_sq = 0.0;
-    for (uint32_t col = 0; col < width; ++col) {
-      const double v = e_avg_[static_cast<size_t>(row) * width + col];
-      norm_sq += v * v;
-    }
-    f_avg = std::min(f_avg, norm_sq);
-  }
-  const bool was_above = above_;
-  estimate_ = static_cast<double>(n) * static_cast<double>(n) * f_avg;
-  above_ = estimate_ >= config_.threshold;
-  if (!was_above && above_) ++stats_.crossings_signaled;
-  ++stats_.syncs;
-  stats_.network.messages += 2 * n;
-  stats_.network.bytes +=
-      2ull * n * dim * sizeof(double);  // vectors up, average down
-}
-
-bool GeometricSelfJoinMonitor::Process(int site, uint64_t key, Timestamp ts,
-                                       uint64_t count) {
-  sites_[static_cast<size_t>(site)].Add(key, ts, count);
-  ++stats_.updates;
-  if (!synced_once_) {
-    Sync();
-    synced_once_ = true;
-    return true;
-  }
-  const uint64_t cadence = std::max<uint64_t>(config_.check_every, 1);
-  if (++site_updates_[static_cast<size_t>(site)] % cadence != 0) return false;
-  ++stats_.local_checks;
-  if (!SphereViolation(SiteVector(site), v_sync_[static_cast<size_t>(site)])) {
-    return false;
-  }
-  ++stats_.local_violations;
-  Sync();
-  return true;
-}
-
-// ---------------------------------------------------------------------------
-// GeometricPointMonitor: f(v) = min_j v_j, the Count-Min estimate of the
-// watched key from its d per-row counters.
-// ---------------------------------------------------------------------------
-
-GeometricPointMonitor::GeometricPointMonitor(int num_sites,
-                                             const EcmConfig& sketch_config,
-                                             const Config& config)
-    : sketch_config_(sketch_config), config_(config) {
-  const size_t n = static_cast<size_t>(num_sites);
-  sites_.reserve(n);
-  for (size_t i = 0; i < n; ++i) sites_.emplace_back(sketch_config_);
-  const size_t dim = static_cast<size_t>(sketch_config_.depth);
-  v_sync_.assign(n, std::vector<double>(dim, 0.0));
-  e_avg_.assign(dim, 0.0);
-  site_updates_.assign(n, 0);
-}
-
-std::vector<double> GeometricPointMonitor::SiteVector(int site) const {
-  const EcmSketch<ExponentialHistogram>& sketch =
-      sites_[static_cast<size_t>(site)];
-  const Timestamp now = sketch.Now();
-  std::vector<double> out(static_cast<size_t>(sketch_config_.depth));
-  // One mixing pass for all d per-row contributions of the watched key.
-  sketch.PointQueryRowsAt(config_.key, sketch_config_.window_len, now,
-                          out.data());
-  return out;
-}
-
-bool GeometricPointMonitor::SphereViolation(
-    const std::vector<double>& current,
-    const std::vector<double>& at_sync) const {
-  const double n = static_cast<double>(sites_.size());
-  const double threshold_avg = config_.threshold / n;
-  std::vector<double> center;
-  const double radius = BallCenterAndRadius(current, at_sync, e_avg_, &center);
-  const double min_center = *std::min_element(center.begin(), center.end());
-  // f = min_j is 1-Lipschitz: over the ball it stays within ±r of min_j c_j.
-  return above_ ? min_center - radius < threshold_avg
-                : min_center + radius >= threshold_avg;
-}
-
-void GeometricPointMonitor::Sync() {
-  const size_t n = sites_.size();
-  const size_t dim = e_avg_.size();
-  std::fill(e_avg_.begin(), e_avg_.end(), 0.0);
-  for (size_t i = 0; i < n; ++i) {
-    v_sync_[i] = SiteVector(static_cast<int>(i));
-    for (size_t k = 0; k < dim; ++k) e_avg_[k] += v_sync_[i][k];
-  }
-  for (double& v : e_avg_) v /= static_cast<double>(n);
-
-  const bool was_above = above_;
-  estimate_ = static_cast<double>(n) *
-              *std::min_element(e_avg_.begin(), e_avg_.end());
-  above_ = estimate_ >= config_.threshold;
-  if (!was_above && above_) ++stats_.crossings_signaled;
-  ++stats_.syncs;
-  stats_.network.messages += 2 * n;
-  stats_.network.bytes += 2ull * n * dim * sizeof(double);
-}
-
-bool GeometricPointMonitor::Process(int site, uint64_t key, Timestamp ts,
-                                    uint64_t count) {
-  sites_[static_cast<size_t>(site)].Add(key, ts, count);
-  ++stats_.updates;
-  if (!synced_once_) {
-    Sync();
-    synced_once_ = true;
-    return true;
-  }
-  const uint64_t cadence = std::max<uint64_t>(config_.check_every, 1);
-  if (++site_updates_[static_cast<size_t>(site)] % cadence != 0) return false;
-  ++stats_.local_checks;
-  if (!SphereViolation(SiteVector(site), v_sync_[static_cast<size_t>(site)])) {
-    return false;
-  }
-  ++stats_.local_violations;
-  Sync();
-  return true;
-}
+// The monitors are counter-generic templates; the common instantiations
+// are compiled once here (and their layouts/regressions are pinned by
+// tests/dist_runtime_test.cc's counter-generic checks).
+template class GeometricSelfJoinMonitorT<ExponentialHistogram>;
+template class GeometricSelfJoinMonitorT<RandomizedWave>;
+template class GeometricPointMonitorT<ExponentialHistogram>;
+template class GeometricPointMonitorT<RandomizedWave>;
 
 }  // namespace ecm

@@ -9,21 +9,50 @@
 // certified on that side; a ball touching the surface is a local
 // violation and forces a sync.
 //
-// Two monitors are provided:
-//  * GeometricSelfJoinMonitor — f is the sliding-window self-join size F₂
+// Two monitors are provided, both counter-generic over the runtime's
+// Site<Counter> and charging syncs through its Transport:
+//  * GeometricSelfJoinMonitorT — f is the sliding-window self-join size F₂
 //    (statistics vector = the site's full w×d counter-estimate grid);
-//  * GeometricPointMonitor — f is one key's windowed count (statistics
+//  * GeometricPointMonitorT — f is one key's windowed count (statistics
 //    vector = the d per-row estimates of that key), the paper's §1
 //    distributed-trigger scenario.
+//
+// Drift tracking (the steady-state cost of the local sphere test):
+//  * kIncremental (default) — each arrival touches exactly one counter
+//    per row, so the site updates only those d statistics-vector entries
+//    (located via the sketch's PointQueryRowsAt hook) and maintains
+//    ‖δ_i‖² and the per-row ball-center norms by difference. The sphere
+//    test is then O(d) per check instead of the O(w·d) full rebuild.
+//    Entries not touched since the last sync are re-evaluated lazily: a
+//    full refresh runs every `refresh_every` ticks (default window/4), so
+//    staleness from window expiry is bounded by one refresh interval.
+//    While no window content expires, the tracked vector is exactly the
+//    rebuilt one.
+//  * kRebuild — the legacy reference: every check re-materializes the
+//    full statistics vector and recomputes the ball fresh. Kept for
+//    differential tests (dist_runtime_test.cc verifies both modes sync
+//    on exactly the same arrivals) and bench ablations.
+//
+// Parallel ingest: Process() is the sequential API (sync runs inline on
+// the violating arrival). ParallelIngest drives the split API instead —
+// LocalProcess() on the owning worker (site-local state only; returns
+// true to request a sync) and GlobalSync() at the barrier with every
+// worker quiescent.
 
 #ifndef ECM_DIST_GEOMETRIC_H_
 #define ECM_DIST_GEOMETRIC_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <limits>
+#include <memory>
 #include <vector>
 
 #include "src/core/ecm_sketch.h"
 #include "src/dist/network_stats.h"
+#include "src/dist/runtime.h"
+#include "src/dist/transport.h"
 #include "src/util/result.h"
 
 namespace ecm {
@@ -36,6 +65,12 @@ struct MonitorStats {
   uint64_t syncs = 0;               ///< global synchronizations (incl. initial)
   uint64_t crossings_signaled = 0;  ///< below->above transitions detected
   NetworkStats network;
+};
+
+/// How a site maintains its drift δ_i between syncs (see file comment).
+enum class DriftTracking : uint8_t {
+  kIncremental = 0,  ///< O(d) per check: update only touched entries
+  kRebuild = 1,      ///< O(w·d) per check: full rebuild (legacy reference)
 };
 
 /// Estimated global self-join size of `sites`' union stream over the
@@ -54,19 +89,121 @@ Result<double> GlobalSelfJoin(const std::vector<EcmSketch<Counter>>& sites,
 }
 
 /// Threshold monitor for the global sliding-window self-join size F₂.
-class GeometricSelfJoinMonitor {
+template <SlidingWindowCounter Counter>
+class GeometricSelfJoinMonitorT {
  public:
   struct Config {
     double threshold = 0.0;    ///< alarm when global F₂ >= threshold
     uint64_t check_every = 1;  ///< sphere-test cadence, in per-site updates
+    DriftTracking drift = DriftTracking::kIncremental;
+    /// Ticks between full refreshes of the incrementally tracked
+    /// statistics vector (staleness bound under window expiry);
+    /// 0 = window_len / 4.
+    uint64_t refresh_every = 0;
   };
 
-  GeometricSelfJoinMonitor(int num_sites, const EcmConfig& sketch_config,
-                           const Config& config);
+  GeometricSelfJoinMonitorT(int num_sites, const EcmConfig& sketch_config,
+                            const Config& config,
+                            Transport* transport = nullptr)
+      : sketch_config_(sketch_config),
+        config_(config),
+        transport_(transport),
+        dim_(static_cast<size_t>(sketch_config.width) * sketch_config.depth),
+        e_avg_(dim_, 0.0) {
+    if (!transport_) {
+      owned_transport_ = std::make_unique<LoopbackTransport>();
+      transport_ = owned_transport_.get();
+    }
+    refresh_period_ =
+        config_.refresh_every
+            ? config_.refresh_every
+            : std::max<uint64_t>(sketch_config_.window_len / 4, 1);
+    sites_.reserve(static_cast<size_t>(num_sites));
+    for (int i = 0; i < num_sites; ++i) {
+      sites_.emplace_back(i, sketch_config_, dim_, sketch_config_.depth);
+    }
+  }
 
   /// Routes one arrival to `site` and runs the local sphere test on its
-  /// cadence. Returns true iff this arrival caused a global sync.
-  bool Process(int site, uint64_t key, Timestamp ts, uint64_t count = 1);
+  /// cadence; a violation synchronizes inline. Returns true iff this
+  /// arrival caused a global sync.
+  bool Process(int site, uint64_t key, Timestamp ts, uint64_t count = 1) {
+    const bool violation = LocalProcess(site, key, ts, count);
+    if (violation) GlobalSync();
+    return violation;
+  }
+
+  /// Site-local half of Process (safe on the ParallelIngest worker that
+  /// owns `site`): ingest, drift maintenance, sphere test. Returns true
+  /// iff a global sync is required.
+  bool LocalProcess(int site, uint64_t key, Timestamp ts, uint64_t count = 1) {
+    SiteState& st = sites_[static_cast<size_t>(site)];
+    st.node.Ingest(key, ts, count);
+    ++st.updates;
+    if (!synced_once_) return true;  // initial sync still outstanding
+    if (config_.drift == DriftTracking::kIncremental) UpdateDrift(&st, key);
+    const uint64_t cadence = std::max<uint64_t>(config_.check_every, 1);
+    if (++st.cadence_ticks % cadence != 0) return false;
+    ++st.checks;
+    if (config_.drift == DriftTracking::kRebuild) {
+      RefreshVector(&st);
+    } else if (st.node.sketch().Now() - st.last_refresh >= refresh_period_) {
+      RefreshVector(&st);
+    }
+    if (!SphereViolation(st)) return false;
+    ++st.violations;
+    return true;
+  }
+
+  /// Coordinator half: collects every site's statistics vector, installs
+  /// the new global average and re-arms all drift state. Requires every
+  /// worker quiescent (ParallelIngest's barrier, or the sequential path).
+  void GlobalSync() {
+    const size_t n = sites_.size();
+    std::fill(e_avg_.begin(), e_avg_.end(), 0.0);
+    for (SiteState& st : sites_) {
+      RefreshVector(&st);
+      st.v_sync = st.v_cur;
+      for (size_t k = 0; k < dim_; ++k) e_avg_[k] += st.v_sync[k];
+    }
+    for (double& v : e_avg_) v /= static_cast<double>(n);
+
+    // δ = 0 at every site after a sync: every ball center collapses onto
+    // e_avg, so the per-row center norms are shared — and f on the
+    // average vector is their row-wise minimum.
+    const uint32_t width = sketch_config_.width;
+    std::vector<double> base_row_sq(static_cast<size_t>(sketch_config_.depth));
+    double f_avg = std::numeric_limits<double>::infinity();
+    for (int row = 0; row < sketch_config_.depth; ++row) {
+      double norm_sq = 0.0;
+      for (uint32_t col = 0; col < width; ++col) {
+        const double v = e_avg_[static_cast<size_t>(row) * width + col];
+        norm_sq += v * v;
+      }
+      base_row_sq[static_cast<size_t>(row)] = norm_sq;
+      f_avg = std::min(f_avg, norm_sq);
+    }
+    const bool was_above = above_;
+    estimate_ = static_cast<double>(n) * static_cast<double>(n) * f_avg;
+    above_ = estimate_ >= config_.threshold;
+    if (!was_above && above_) ++stats_.crossings_signaled;
+    ++stats_.syncs;
+    synced_once_ = true;
+    for (SiteState& st : sites_) {
+      st.radius_sq = 0.0;
+      st.row_sq = base_row_sq;
+    }
+
+    // Vectors up, the average back down — the sync's wire cost.
+    for (const SiteState& st : sites_) {
+      transport_->Send(st.node.id(), kCoordinatorNode, VectorWireSize(dim_));
+    }
+    for (const SiteState& st : sites_) {
+      transport_->Send(kCoordinatorNode, st.node.id(), VectorWireSize(dim_));
+    }
+    stats_.network.messages += 2 * n;
+    stats_.network.bytes += 2ull * n * VectorWireSize(dim_);
+  }
 
   /// Side of the threshold established by the most recent sync.
   bool AboveThreshold() const { return above_; }
@@ -74,74 +211,337 @@ class GeometricSelfJoinMonitor {
   /// Global F₂ estimate at the most recent sync.
   double GlobalEstimate() const { return estimate_; }
 
-  const MonitorStats& stats() const { return stats_; }
-
-  const EcmSketch<ExponentialHistogram>& site_sketch(int site) const {
-    return sites_[static_cast<size_t>(site)];
+  /// Aggregated monitor counters (per-site tallies summed on demand, so
+  /// parallel workers never contend on shared counters).
+  MonitorStats stats() const {
+    MonitorStats s = stats_;
+    for (const SiteState& st : sites_) {
+      s.updates += st.updates;
+      s.local_checks += st.checks;
+      s.local_violations += st.violations;
+    }
+    return s;
   }
 
+  const EcmSketch<Counter>& site_sketch(int site) const {
+    return sites_[static_cast<size_t>(site)].node.sketch();
+  }
+
+  Transport& transport() { return *transport_; }
+
  private:
-  std::vector<double> SiteVector(int site) const;
-  bool SphereViolation(const std::vector<double>& current,
-                       const std::vector<double>& at_sync) const;
-  void Sync();
+  struct SiteState {
+    SiteState(NodeId id, const EcmConfig& cfg, size_t dim, int depth)
+        : node(id, cfg),
+          v_sync(dim, 0.0),
+          v_cur(dim, 0.0),
+          row_sq(static_cast<size_t>(depth), 0.0) {}
+    Site<Counter> node;
+    std::vector<double> v_sync;  ///< statistics vector at the last sync
+    std::vector<double> v_cur;   ///< tracked current statistics vector
+    std::vector<double> row_sq;  ///< per-row ‖e + δ/2‖² (ball-center norms)
+    double radius_sq = 0.0;      ///< ‖δ‖²
+    Timestamp last_refresh = 0;
+    uint64_t updates = 0;        ///< arrivals (stats)
+    uint64_t cadence_ticks = 0;  ///< arrivals since the initial sync
+    uint64_t checks = 0;
+    uint64_t violations = 0;
+  };
+
+  /// O(d) incremental maintenance: the arrival of `key` touched exactly
+  /// one counter per row; re-evaluate those d entries and update ‖δ‖²
+  /// and the per-row center norms by difference.
+  void UpdateDrift(SiteState* st, uint64_t key) {
+    const EcmSketch<Counter>& sk = st->node.sketch();
+    const Timestamp now = sk.Now();
+    double ests[kMaxSketchDepth];
+    uint32_t cols[kMaxSketchDepth];
+    sk.PointQueryRowsAt(key, sketch_config_.window_len, now, ests, cols);
+    const uint32_t width = sketch_config_.width;
+    for (int j = 0; j < sketch_config_.depth; ++j) {
+      const size_t k = static_cast<size_t>(j) * width + cols[j];
+      const double new_v = ests[j];
+      const double old_v = st->v_cur[k];
+      if (new_v == old_v) continue;
+      const double old_d = old_v - st->v_sync[k];
+      const double new_d = new_v - st->v_sync[k];
+      st->radius_sq += new_d * new_d - old_d * old_d;
+      const double old_c = e_avg_[k] + 0.5 * old_d;
+      const double new_c = e_avg_[k] + 0.5 * new_d;
+      st->row_sq[static_cast<size_t>(j)] += new_c * new_c - old_c * old_c;
+      st->v_cur[k] = new_v;
+    }
+  }
+
+  /// Full O(w·d) re-materialization of the site's statistics vector and
+  /// exact recomputation of the ball quantities — the rebuild reference,
+  /// the incremental mode's periodic staleness refresh, and the sync
+  /// collection path.
+  void RefreshVector(SiteState* st) const {
+    const EcmSketch<Counter>& sk = st->node.sketch();
+    const Timestamp now = sk.Now();
+    const uint32_t width = sketch_config_.width;
+    for (int row = 0; row < sketch_config_.depth; ++row) {
+      sk.EstimateRowAt(row, sketch_config_.window_len, now,
+                       &st->v_cur[static_cast<size_t>(row) * width]);
+    }
+    double radius_sq = 0.0;
+    for (size_t k = 0; k < dim_; ++k) {
+      const double drift = st->v_cur[k] - st->v_sync[k];
+      radius_sq += drift * drift;
+    }
+    st->radius_sq = radius_sq;
+    for (int row = 0; row < sketch_config_.depth; ++row) {
+      double norm_sq = 0.0;
+      for (uint32_t col = 0; col < width; ++col) {
+        const size_t k = static_cast<size_t>(row) * width + col;
+        const double c = e_avg_[k] + 0.5 * (st->v_cur[k] - st->v_sync[k]);
+        norm_sq += c * c;
+      }
+      st->row_sq[static_cast<size_t>(row)] = norm_sq;
+    }
+    st->last_refresh = now;
+  }
+
+  /// O(d) sphere test from the maintained ball quantities: f over the
+  /// ball is bounded row by row by (‖c_row‖ ± r)².
+  bool SphereViolation(const SiteState& st) const {
+    const double n = static_cast<double>(sites_.size());
+    const double threshold_avg = config_.threshold / (n * n);
+    const double radius = 0.5 * std::sqrt(std::max(st.radius_sq, 0.0));
+    double bound = std::numeric_limits<double>::infinity();
+    for (int row = 0; row < sketch_config_.depth; ++row) {
+      const double norm =
+          std::sqrt(std::max(st.row_sq[static_cast<size_t>(row)], 0.0));
+      const double extreme =
+          above_ ? std::max(norm - radius, 0.0) : norm + radius;
+      bound = std::min(bound, extreme * extreme);
+    }
+    return above_ ? bound < threshold_avg : bound >= threshold_avg;
+  }
 
   EcmConfig sketch_config_;
   Config config_;
-  std::vector<EcmSketch<ExponentialHistogram>> sites_;
-  std::vector<std::vector<double>> v_sync_;  ///< per-site vector at last sync
-  std::vector<double> e_avg_;                ///< global average at last sync
-  std::vector<uint64_t> site_updates_;
+  Transport* transport_;
+  std::unique_ptr<Transport> owned_transport_;
+  size_t dim_;
+  uint64_t refresh_period_;
+  std::vector<SiteState> sites_;
+  std::vector<double> e_avg_;  ///< global average at last sync
   double estimate_ = 0.0;
   bool above_ = false;
   bool synced_once_ = false;
-  MonitorStats stats_;
+  MonitorStats stats_;  ///< sync-side counters (updated under quiescence)
 };
 
 /// Threshold monitor for one key's global sliding-window count — the
 /// distributed-trigger ("DDoS victim") scenario. Syncs ship only the d
 /// per-row estimates of the watched key, so they cost 2·n·d doubles each.
-class GeometricPointMonitor {
+template <SlidingWindowCounter Counter>
+class GeometricPointMonitorT {
  public:
   struct Config {
     uint64_t key = 0;          ///< the watched key
     double threshold = 0.0;    ///< alarm when its global count >= threshold
     uint64_t check_every = 1;  ///< sphere-test cadence, in per-site updates
+    DriftTracking drift = DriftTracking::kIncremental;
+    uint64_t refresh_every = 0;  ///< 0 = window_len / 4
   };
 
-  GeometricPointMonitor(int num_sites, const EcmConfig& sketch_config,
-                        const Config& config);
+  GeometricPointMonitorT(int num_sites, const EcmConfig& sketch_config,
+                         const Config& config, Transport* transport = nullptr)
+      : sketch_config_(sketch_config),
+        config_(config),
+        transport_(transport),
+        dim_(static_cast<size_t>(sketch_config.depth)),
+        e_avg_(dim_, 0.0) {
+    if (!transport_) {
+      owned_transport_ = std::make_unique<LoopbackTransport>();
+      transport_ = owned_transport_.get();
+    }
+    refresh_period_ =
+        config_.refresh_every
+            ? config_.refresh_every
+            : std::max<uint64_t>(sketch_config_.window_len / 4, 1);
+    sites_.reserve(static_cast<size_t>(num_sites));
+    for (int i = 0; i < num_sites; ++i) {
+      sites_.emplace_back(i, sketch_config_, dim_);
+    }
+    // All sites share the hash seed, so the watched key's row buckets are
+    // site-independent.
+    std::fill(watched_cols_, watched_cols_ + kMaxSketchDepth, 0u);
+    if (!sites_.empty()) {
+      sites_[0].node.sketch().RowBuckets(config_.key, watched_cols_);
+    }
+  }
 
-  bool Process(int site, uint64_t key, Timestamp ts, uint64_t count = 1);
+  bool Process(int site, uint64_t key, Timestamp ts, uint64_t count = 1) {
+    const bool violation = LocalProcess(site, key, ts, count);
+    if (violation) GlobalSync();
+    return violation;
+  }
+
+  bool LocalProcess(int site, uint64_t key, Timestamp ts, uint64_t count = 1) {
+    SiteState& st = sites_[static_cast<size_t>(site)];
+    st.node.Ingest(key, ts, count);
+    ++st.updates;
+    if (!synced_once_) return true;
+    if (config_.drift == DriftTracking::kIncremental) UpdateDrift(&st, key);
+    const uint64_t cadence = std::max<uint64_t>(config_.check_every, 1);
+    if (++st.cadence_ticks % cadence != 0) return false;
+    ++st.checks;
+    if (config_.drift == DriftTracking::kRebuild) {
+      RefreshVector(&st);
+    } else if (st.node.sketch().Now() - st.last_refresh >= refresh_period_) {
+      RefreshVector(&st);
+    }
+    if (!SphereViolation(st)) return false;
+    ++st.violations;
+    return true;
+  }
+
+  void GlobalSync() {
+    const size_t n = sites_.size();
+    std::fill(e_avg_.begin(), e_avg_.end(), 0.0);
+    for (SiteState& st : sites_) {
+      RefreshVector(&st);
+      st.v_sync = st.v_cur;
+      for (size_t k = 0; k < dim_; ++k) e_avg_[k] += st.v_sync[k];
+    }
+    for (double& v : e_avg_) v /= static_cast<double>(n);
+
+    const bool was_above = above_;
+    estimate_ = static_cast<double>(n) *
+                *std::min_element(e_avg_.begin(), e_avg_.end());
+    above_ = estimate_ >= config_.threshold;
+    if (!was_above && above_) ++stats_.crossings_signaled;
+    ++stats_.syncs;
+    synced_once_ = true;
+    for (SiteState& st : sites_) st.radius_sq = 0.0;
+
+    for (const SiteState& st : sites_) {
+      transport_->Send(st.node.id(), kCoordinatorNode, VectorWireSize(dim_));
+    }
+    for (const SiteState& st : sites_) {
+      transport_->Send(kCoordinatorNode, st.node.id(), VectorWireSize(dim_));
+    }
+    stats_.network.messages += 2 * n;
+    stats_.network.bytes += 2ull * n * VectorWireSize(dim_);
+  }
 
   bool AboveThreshold() const { return above_; }
 
   /// Global windowed-count estimate of the watched key at the last sync.
   double GlobalEstimate() const { return estimate_; }
 
-  const MonitorStats& stats() const { return stats_; }
-
-  const EcmSketch<ExponentialHistogram>& site_sketch(int site) const {
-    return sites_[static_cast<size_t>(site)];
+  MonitorStats stats() const {
+    MonitorStats s = stats_;
+    for (const SiteState& st : sites_) {
+      s.updates += st.updates;
+      s.local_checks += st.checks;
+      s.local_violations += st.violations;
+    }
+    return s;
   }
 
+  const EcmSketch<Counter>& site_sketch(int site) const {
+    return sites_[static_cast<size_t>(site)].node.sketch();
+  }
+
+  Transport& transport() { return *transport_; }
+
  private:
-  std::vector<double> SiteVector(int site) const;
-  bool SphereViolation(const std::vector<double>& current,
-                       const std::vector<double>& at_sync) const;
-  void Sync();
+  struct SiteState {
+    SiteState(NodeId id, const EcmConfig& cfg, size_t dim)
+        : node(id, cfg), v_sync(dim, 0.0), v_cur(dim, 0.0) {}
+    Site<Counter> node;
+    std::vector<double> v_sync;
+    std::vector<double> v_cur;
+    double radius_sq = 0.0;
+    Timestamp last_refresh = 0;
+    uint64_t updates = 0;
+    uint64_t cadence_ticks = 0;
+    uint64_t checks = 0;
+    uint64_t violations = 0;
+  };
+
+  /// The watched key's row-j entry moves only when an arrival collides
+  /// with it in row j; compare the arrival's buckets against the watched
+  /// buckets and re-evaluate just the collided rows.
+  void UpdateDrift(SiteState* st, uint64_t key) {
+    const EcmSketch<Counter>& sk = st->node.sketch();
+    uint32_t cols[kMaxSketchDepth];
+    sk.RowBuckets(key, cols);
+    const Timestamp now = sk.Now();
+    for (int j = 0; j < sketch_config_.depth; ++j) {
+      if (cols[j] != watched_cols_[j]) continue;
+      const double new_v =
+          sk.CounterAt(j, watched_cols_[j])
+              .Estimate(now, sketch_config_.window_len);
+      const size_t k = static_cast<size_t>(j);
+      const double old_v = st->v_cur[k];
+      if (new_v == old_v) continue;
+      const double old_d = old_v - st->v_sync[k];
+      const double new_d = new_v - st->v_sync[k];
+      st->radius_sq += new_d * new_d - old_d * old_d;
+      st->v_cur[k] = new_v;
+    }
+  }
+
+  void RefreshVector(SiteState* st) const {
+    const EcmSketch<Counter>& sk = st->node.sketch();
+    const Timestamp now = sk.Now();
+    sk.PointQueryRowsAt(config_.key, sketch_config_.window_len, now,
+                        st->v_cur.data());
+    double radius_sq = 0.0;
+    for (size_t k = 0; k < dim_; ++k) {
+      const double drift = st->v_cur[k] - st->v_sync[k];
+      radius_sq += drift * drift;
+    }
+    st->radius_sq = radius_sq;
+    st->last_refresh = now;
+  }
+
+  /// f = min_j is 1-Lipschitz: over the ball it stays within ±r of
+  /// min_j c_j, computed fresh from the d tracked entries (O(d)).
+  bool SphereViolation(const SiteState& st) const {
+    const double n = static_cast<double>(sites_.size());
+    const double threshold_avg = config_.threshold / n;
+    const double radius = 0.5 * std::sqrt(std::max(st.radius_sq, 0.0));
+    double min_center = std::numeric_limits<double>::infinity();
+    for (size_t k = 0; k < dim_; ++k) {
+      min_center =
+          std::min(min_center, e_avg_[k] + 0.5 * (st.v_cur[k] - st.v_sync[k]));
+    }
+    return above_ ? min_center - radius < threshold_avg
+                  : min_center + radius >= threshold_avg;
+  }
 
   EcmConfig sketch_config_;
   Config config_;
-  std::vector<EcmSketch<ExponentialHistogram>> sites_;
-  std::vector<std::vector<double>> v_sync_;
+  Transport* transport_;
+  std::unique_ptr<Transport> owned_transport_;
+  size_t dim_;
+  uint64_t refresh_period_;
+  uint32_t watched_cols_[kMaxSketchDepth];
+  std::vector<SiteState> sites_;
   std::vector<double> e_avg_;
-  std::vector<uint64_t> site_updates_;
   double estimate_ = 0.0;
   bool above_ = false;
   bool synced_once_ = false;
   MonitorStats stats_;
 };
+
+/// The paper's default instantiations (ECM-EH sites).
+using GeometricSelfJoinMonitor =
+    GeometricSelfJoinMonitorT<ExponentialHistogram>;
+using GeometricPointMonitor = GeometricPointMonitorT<ExponentialHistogram>;
+
+// Compiled once in geometric.cc for the common counter types.
+extern template class GeometricSelfJoinMonitorT<ExponentialHistogram>;
+extern template class GeometricSelfJoinMonitorT<RandomizedWave>;
+extern template class GeometricPointMonitorT<ExponentialHistogram>;
+extern template class GeometricPointMonitorT<RandomizedWave>;
 
 }  // namespace ecm
 

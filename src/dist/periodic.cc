@@ -1,96 +1,10 @@
 #include "src/dist/periodic.h"
 
-#include <algorithm>
-#include <cmath>
-
-#include "src/dist/serialize.h"
-
 namespace ecm {
 
-PeriodicAggregator::PeriodicAggregator(int num_sites,
-                                       const EcmConfig& sketch_config,
-                                       const Config& config)
-    : sketch_config_(sketch_config), config_(config) {
-  sites_.reserve(static_cast<size_t>(num_sites));
-  for (int i = 0; i < num_sites; ++i) sites_.emplace_back(sketch_config_);
-}
-
-bool PeriodicAggregator::Process(int site_idx, uint64_t key, Timestamp ts,
-                                 uint64_t count) {
-  Site& site = sites_[static_cast<size_t>(site_idx)];
-  site.local.Add(key, ts, count);
-  ++stats_.updates;
-  clock_ = std::max(clock_, site.local.Now());
-
-  if (!site.snapshot.has_value()) {
-    Push(&site, PushKind::kInitial);
-    return true;
-  }
-  if (config_.period > 0 &&
-      site.local.Now() - site.last_push_ts >= config_.period) {
-    Push(&site, PushKind::kPeriodic);
-    return true;
-  }
-  if (config_.drift_fraction > 0.0) {
-    double l1 = site.local.EstimateL1(sketch_config_.window_len);
-    if (std::abs(l1 - site.pushed_l1) >=
-        config_.drift_fraction * std::max(site.pushed_l1, 1.0)) {
-      Push(&site, PushKind::kDrift);
-      return true;
-    }
-  }
-  return false;
-}
-
-Status PeriodicAggregator::SyncAll() {
-  for (Site& site : sites_) Push(&site, PushKind::kForced);
-  return Status::OK();
-}
-
-void PeriodicAggregator::Push(Site* site, PushKind kind) {
-  site->snapshot = site->local;  // models serialize -> wire -> deserialize
-  site->last_push_ts = site->local.Now();
-  site->pushed_l1 = site->local.EstimateL1(sketch_config_.window_len);
-  ++stats_.pushes;
-  if (kind == PushKind::kPeriodic) ++stats_.periodic_pushes;
-  if (kind == PushKind::kDrift) ++stats_.drift_pushes;
-  ++stats_.network.messages;
-  stats_.network.bytes += SketchWireSize(site->local);
-  merged_cache_.reset();
-}
-
-Result<const EcmSketch<ExponentialHistogram>*> PeriodicAggregator::MergedView()
-    const {
-  if (merged_cache_.has_value()) return &*merged_cache_;
-  std::vector<const EcmSketch<ExponentialHistogram>*> snapshots;
-  snapshots.reserve(sites_.size());
-  for (const Site& site : sites_) {
-    if (!site.snapshot.has_value()) {
-      return Status::InvalidArgument(
-          "PeriodicAggregator: some site has never pushed; call SyncAll() "
-          "or wait for its first arrival");
-    }
-    snapshots.push_back(&*site.snapshot);
-  }
-  auto merged = EcmSketch<ExponentialHistogram>::Merge(
-      snapshots, sketch_config_.epsilon_sw, sketch_config_.seed);
-  if (!merged.ok()) return merged.status();
-  merged_cache_ = std::move(*merged);
-  return &*merged_cache_;
-}
-
-Result<EcmSketch<ExponentialHistogram>> PeriodicAggregator::GlobalView()
-    const {
-  auto view = MergedView();
-  if (!view.ok()) return view.status();
-  return **view;
-}
-
-Result<double> PeriodicAggregator::GlobalPointQuery(uint64_t key,
-                                                    uint64_t range) const {
-  auto view = MergedView();
-  if (!view.ok()) return view.status();
-  return (*view)->PointQuery(key, range);
-}
+// The scheduled propagator is counter-generic; the common instantiations
+// are compiled once here.
+template class PeriodicAggregatorT<ExponentialHistogram>;
+template class PeriodicAggregatorT<RandomizedWave>;
 
 }  // namespace ecm

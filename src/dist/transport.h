@@ -1,0 +1,68 @@
+// The message substrate of the distributed runtime (§5–§6 deployment
+// path): every site→coordinator or site→site transfer of the aggregation
+// tree, the scheduled propagator and the geometric monitors goes through
+// one Transport, so all three substrates charge the same NetworkStats
+// currency — payload bytes as priced by dist/serialize.h wire encodings
+// (sketches) or fixed64 statistics vectors (geometric syncs).
+//
+// Transport is deliberately narrow: a payload is opaque and only its size
+// is observable, because the in-process runtime delivers state by
+// reference and the accounting is the experimentally meaningful effect
+// (Fig. 5/6, Table 4). A real deployment would subclass Transport with a
+// socket-backed implementation and ship SerializeSketch bytes verbatim.
+
+#ifndef ECM_DIST_TRANSPORT_H_
+#define ECM_DIST_TRANSPORT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/dist/network_stats.h"
+
+namespace ecm {
+
+/// Logical node id inside one distributed runtime: sites are 0..n-1.
+using NodeId = int;
+
+/// The coordinator's node id.
+inline constexpr NodeId kCoordinatorNode = -1;
+
+/// Point-to-point message shipping with exact byte accounting. All
+/// methods must be safe to call concurrently: ParallelIngest workers push
+/// site-local traffic (scheduled-propagation snapshots) from their own
+/// threads.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Ships one message of `payload_bytes` from `from` to `to`.
+  virtual void Send(NodeId from, NodeId to, size_t payload_bytes) = 0;
+
+  /// Cumulative transfer volume across every message ever sent.
+  virtual NetworkStats stats() const = 0;
+};
+
+/// In-process transport: delivery is instantaneous (state moves by
+/// reference inside the runtime), so the observable effect is the
+/// accounting. Counters are atomic — one LoopbackTransport may be shared
+/// by all substrates of a run and by all ParallelIngest workers.
+class LoopbackTransport final : public Transport {
+ public:
+  void Send(NodeId from, NodeId to, size_t payload_bytes) override;
+  NetworkStats stats() const override;
+
+ private:
+  std::atomic<uint64_t> messages_{0};
+  std::atomic<uint64_t> bytes_{0};
+};
+
+/// Wire price of shipping a dense statistics vector of `dim` doubles
+/// (geometric-monitor syncs: vectors up, the average back down).
+inline constexpr size_t VectorWireSize(size_t dim) {
+  return dim * sizeof(double);
+}
+
+}  // namespace ecm
+
+#endif  // ECM_DIST_TRANSPORT_H_

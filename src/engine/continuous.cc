@@ -5,10 +5,9 @@
 namespace ecm {
 
 StreamEngine::StreamEngine(const Options& options)
-    : options_(options), sketch_(options.sketch) {
-  if (options_.domain_bits > 0) {
-    dyadic_.emplace(options_.domain_bits, options_.sketch);
-  }
+    : options_(options),
+      site_(/*id=*/0, options.sketch,
+            Site<ExponentialHistogram>::Options{options.domain_bits}) {
   if (options_.evaluate_every == 0) options_.evaluate_every = 1;
 }
 
@@ -40,7 +39,7 @@ QueryId StreamEngine::WatchSelfJoin(
 Result<QueryId> StreamEngine::WatchHeavyHitters(
     double phi_ratio, uint64_t range, uint64_t period,
     std::function<void(const HeavyHitterReport&)> callback) {
-  if (!dyadic_) {
+  if (!site_.dyadic()) {
     return Status::InvalidArgument(
         "heavy-hitter queries need domain_bits > 0 at engine construction");
   }
@@ -74,7 +73,7 @@ bool StreamEngine::Unwatch(QueryId id) {
 
 void StreamEngine::EvaluatePoint(PointWatch* watch, Timestamp ts) {
   ++stats_.point_evaluations;
-  double est = sketch_.PointQuery(watch->key, watch->range);
+  double est = site_.sketch().PointQuery(watch->key, watch->range);
   bool above = est >= watch->threshold;
   if (above != watch->above) {
     watch->above = above;
@@ -88,7 +87,7 @@ void StreamEngine::EvaluatePoint(PointWatch* watch, Timestamp ts) {
 void StreamEngine::EvaluateSelfJoins(Timestamp ts) {
   for (auto& watch : selfjoin_watches_) {
     ++stats_.selfjoin_evaluations;
-    double est = sketch_.SelfJoin(watch.range);
+    double est = site_.sketch().SelfJoin(watch.range);
     bool above = est >= watch.threshold;
     if (above != watch.above) {
       watch.above = above;
@@ -108,15 +107,14 @@ void StreamEngine::EvaluateHitters(Timestamp ts) {
     HeavyHitterReport report;
     report.query = watch.id;
     report.ts = ts;
-    report.window_l1 = dyadic_->EstimateL1(watch.range);
-    report.hitters = dyadic_->HeavyHitters(watch.phi_ratio, watch.range);
+    report.window_l1 = site_.dyadic()->EstimateL1(watch.range);
+    report.hitters = site_.dyadic()->HeavyHitters(watch.phi_ratio, watch.range);
     if (watch.callback) watch.callback(report);
   }
 }
 
 void StreamEngine::Ingest(uint64_t key, Timestamp ts, uint64_t count) {
-  sketch_.Add(key, ts, count);
-  if (dyadic_) dyadic_->Add(key, ts, count);
+  site_.Ingest(key, ts, count);
   ++stats_.arrivals;
 
   // Point watches on the arriving key re-evaluate immediately (their
@@ -135,9 +133,15 @@ void StreamEngine::Ingest(uint64_t key, Timestamp ts, uint64_t count) {
   EvaluateHitters(ts);
 }
 
+void StreamEngine::IngestBatch(const StreamEvent* events, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    Ingest(events[i].key, events[i].ts, 1);
+  }
+}
+
 size_t StreamEngine::MemoryBytes() const {
-  size_t bytes = sizeof(*this) + sketch_.MemoryBytes();
-  if (dyadic_) bytes += dyadic_->MemoryBytes();
+  size_t bytes = sizeof(*this) + site_.sketch().MemoryBytes();
+  if (site_.dyadic()) bytes += site_.dyadic()->MemoryBytes();
   return bytes;
 }
 

@@ -28,6 +28,8 @@
 
 #include "src/core/dyadic.h"
 #include "src/core/ecm_sketch.h"
+#include "src/dist/runtime.h"
+#include "src/stream/event.h"
 
 namespace ecm {
 
@@ -82,15 +84,23 @@ class StreamEngine {
   /// Feeds one arrival and evaluates the affected standing queries.
   void Ingest(uint64_t key, Timestamp ts, uint64_t count = 1);
 
+  /// Batched ingest of a site-local, timestamp-ordered event slice —
+  /// the form ParallelIngest workers and trace replays feed.
+  void IngestBatch(const StreamEvent* events, size_t n);
+
   /// Ad-hoc queries pass through to the sketch.
   double PointQuery(uint64_t key, uint64_t range) const {
-    return sketch_.PointQuery(key, range);
+    return site_.sketch().PointQuery(key, range);
   }
-  double SelfJoin(uint64_t range) const { return sketch_.SelfJoin(range); }
+  double SelfJoin(uint64_t range) const {
+    return site_.sketch().SelfJoin(range);
+  }
 
-  const EcmSketch<ExponentialHistogram>& sketch() const { return sketch_; }
+  const EcmSketch<ExponentialHistogram>& sketch() const {
+    return site_.sketch();
+  }
   const DyadicEcm<ExponentialHistogram>* dyadic() const {
-    return dyadic_ ? &*dyadic_ : nullptr;
+    return site_.dyadic();
   }
 
   /// Counters for tests/telemetry.
@@ -136,8 +146,10 @@ class StreamEngine {
   void EvaluateHitters(Timestamp ts);
 
   Options options_;
-  EcmSketch<ExponentialHistogram> sketch_;
-  std::optional<DyadicEcm<ExponentialHistogram>> dyadic_;
+  // The engine IS the paper's "local site": its synopses are one runtime
+  // Site (sketch + optional dyadic stack), the same observation-point
+  // abstraction the distributed substrates are built on.
+  Site<ExponentialHistogram> site_;
   std::vector<PointWatch> point_watches_;
   std::vector<SelfJoinWatch> selfjoin_watches_;
   std::vector<HitterWatch> hitter_watches_;

@@ -42,6 +42,16 @@ std::vector<std::vector<StreamEvent>> PartitionByNode(
   return parts;
 }
 
+std::vector<std::vector<StreamEvent>> ShardByWorker(
+    const std::vector<StreamEvent>& events, uint32_t num_workers) {
+  if (num_workers == 0) num_workers = 1;
+  std::vector<std::vector<StreamEvent>> shards(num_workers);
+  for (const StreamEvent& e : events) {
+    shards[e.node % num_workers].push_back(e);
+  }
+  return shards;
+}
+
 uint64_t ExactFrequency(const std::vector<StreamEvent>& events, uint64_t key,
                         Timestamp now, uint64_t range) {
   Timestamp boundary = WindowStart(now, range);

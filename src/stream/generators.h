@@ -96,6 +96,14 @@ class RoundRobinStream : public StreamSource {
 std::vector<std::vector<StreamEvent>> PartitionByNode(
     const std::vector<StreamEvent>& events, uint32_t num_nodes);
 
+/// Groups events into `num_workers` shards with shard = node mod workers,
+/// preserving arrival order inside every shard (hence inside every site).
+/// This is the input partition of dist/runtime.h's ParallelIngest: all
+/// sites of one shard are owned by exactly one worker, so site state
+/// needs no locking.
+std::vector<std::vector<StreamEvent>> ShardByWorker(
+    const std::vector<StreamEvent>& events, uint32_t num_workers);
+
 /// Exact frequency of `key` among events with ts ∈ (now-range, now]
 /// (linear scan ground truth for error measurement).
 uint64_t ExactFrequency(const std::vector<StreamEvent>& events, uint64_t key,

@@ -250,6 +250,67 @@ TEST(QueryEquivalenceTest, PointQueryBatchMatchesPerKeyQueries) {
   }
 }
 
+TEST(QueryEquivalenceTest, PointQueryBatchBucketSortMatchesScalarSweep) {
+  // Large frontiers take the per-row counting-sort path; its output must
+  // be bit-identical to the arrival-order scalar sweep (kept as the
+  // ablation reference), duplicates included.
+  Timestamp now = 0;
+  EcmEh sketch = MakeLoadedSketch(61, &now);
+  Rng rng(77);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 5'000; ++i) keys.push_back(rng.Uniform(700));
+  std::vector<double> bucketed(keys.size()), scalar(keys.size());
+  const uint64_t ranges[] = {64, kWindow / 3, kWindow};
+  for (uint64_t range : ranges) {
+    sketch.PointQueryBatchAt(keys.data(), keys.size(), range, now,
+                             bucketed.data());
+    sketch.PointQueryBatchScalarAt(keys.data(), keys.size(), range, now,
+                                   scalar.data());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      ASSERT_EQ(bucketed[i], scalar[i]) << "key " << keys[i];
+    }
+  }
+  // Tiny frontiers (below the sort threshold) agree too, trivially.
+  sketch.PointQueryBatchAt(keys.data(), 5, kWindow, now, bucketed.data());
+  sketch.PointQueryBatchScalarAt(keys.data(), 5, kWindow, now, scalar.data());
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(bucketed[i], scalar[i]);
+}
+
+TEST(QueryEquivalenceTest, EstimateL1LruCoversInterleavedRanges) {
+  // PR-4's single-entry memo thrashed when a dashboard interleaved two
+  // range ladders; the LRU must serve every ladder position from cache.
+  Timestamp now = 0;
+  EcmEh sketch = MakeLoadedSketch(71, &now);
+  const uint64_t ladder[] = {50, 200, 800, 1600, 2400, kWindow};
+  auto stats0 = sketch.l1_cache_stats();
+  for (uint64_t range : ladder) sketch.EstimateL1At(range, now);
+  auto stats1 = sketch.l1_cache_stats();
+  EXPECT_EQ(stats1.misses - stats0.misses, 6u);
+  EXPECT_EQ(stats1.hits, stats0.hits);
+  // Interleaved re-probing of all six (now, range) pairs: pure hits.
+  for (int rep = 0; rep < 10; ++rep) {
+    for (uint64_t range : ladder) sketch.EstimateL1At(range, now);
+  }
+  auto stats2 = sketch.l1_cache_stats();
+  EXPECT_EQ(stats2.misses, stats1.misses);
+  EXPECT_EQ(stats2.hits - stats1.hits, 60u);
+  // Any update invalidates every cached entry.
+  sketch.Add(3, now + 1, 5);
+  sketch.EstimateL1At(kWindow, now + 1);
+  auto stats3 = sketch.l1_cache_stats();
+  EXPECT_EQ(stats3.misses, stats2.misses + 1);
+  // Cached values are the recomputed ones.
+  double cached = sketch.EstimateL1At(kWindow, now + 1);
+  double recomputed = 0.0;
+  const EcmConfig& cfg = sketch.config();
+  for (int j = 0; j < cfg.depth; ++j) {
+    for (uint32_t i = 0; i < cfg.width; ++i) {
+      recomputed += sketch.CounterAt(j, i).Estimate(now + 1, kWindow);
+    }
+  }
+  EXPECT_EQ(cached, recomputed / cfg.depth);
+}
+
 // Reference recursive per-node descent (the pre-PR4 implementation),
 // rebuilt on the public API.
 template <typename Counter>
