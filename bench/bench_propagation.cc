@@ -7,12 +7,14 @@
 // always-fresh view stays bounded by the window share one period of
 // arrivals represents.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
 #include "bench/bench_common.h"
 #include "src/dist/periodic.h"
 #include "src/dist/runtime.h"
+#include "src/dist/socket_transport.h"
 #include "src/util/timer.h"
 
 namespace ecm::bench {
@@ -127,6 +129,57 @@ void Run() {
   std::printf(
       "expected shape: near-linear scaling (no cross-site coordination; "
       "push counts identical at every worker count)\n");
+
+  // Loopback vs real TCP socket on the identical CollectAndMerge script:
+  // the one-accounting-currency invariant means the NetworkStats columns
+  // must match byte-for-byte; only wall-clock and physical wire volume
+  // (framing + control frames) may differ.
+  PrintHeader(
+      "Transport comparison: identical CollectAndMerge script, loopback "
+      "vs TCP socket (8 sites, sync every 10000 events)",
+      {"transport", "events/s", "msgs", "payload_bytes", "wire_bytes"});
+  const uint64_t sync_every = std::max<uint64_t>(ScaledEvents(10'000), 1);
+  auto run_script = [&](Transport* t) {
+    Coordinator<ExponentialHistogram> coord(kSites, *scfg, t);
+    Timer timer;
+    for (size_t i = 0; i < pevents.size(); ++i) {
+      const auto& e = pevents[i];
+      coord.site(static_cast<int>(e.node)).Ingest(e.key, e.ts);
+      if ((i + 1) % sync_every == 0) (void)coord.CollectAndMerge();
+    }
+    return static_cast<double>(pevents.size()) / timer.ElapsedSeconds();
+  };
+
+  LoopbackTransport loopback;
+  const double loop_rate = run_script(&loopback);
+  RecordBenchResult("prop/wire/loopback", loop_rate,
+                    static_cast<double>(loopback.stats().bytes));
+  PrintRow({"loopback", FormatDouble(loop_rate, 0),
+            std::to_string(loopback.stats().messages),
+            std::to_string(loopback.stats().bytes), "-"});
+
+  auto server = CoordinatorServer::Start(
+      0, CoordinatorServer::Options{}, nullptr);
+  if (!server.ok()) return;
+  SocketTransport::Options topt;
+  topt.heartbeat_period_ms = 0;
+  auto socket = SocketTransport::Connect("127.0.0.1", (*server)->port(),
+                                         kCoordinatorNode, topt);
+  if (!socket.ok()) return;
+  const double sock_rate = run_script(socket->get());
+  (void)(*socket)->Flush();
+  RecordBenchResult("prop/wire/socket", sock_rate,
+                    static_cast<double>((*socket)->stats().bytes));
+  PrintRow({"socket", FormatDouble(sock_rate, 0),
+            std::to_string((*socket)->stats().messages),
+            std::to_string((*socket)->stats().bytes),
+            std::to_string((*socket)->wire_bytes())});
+  std::printf(
+      "expected shape: msgs and payload_bytes identical across the two "
+      "rows (NetworkStats is payload-only on every transport); the "
+      "socket row additionally reports physical wire volume "
+      "(+%zu-byte frame headers, control frames)\n",
+      kFrameHeaderBytes);
 }
 
 }  // namespace

@@ -17,6 +17,17 @@
 //    vector = the d per-row estimates of that key), the paper's §1
 //    distributed-trigger scenario.
 //
+// The sync/cadence state machine is identical for every choice of f, so
+// it lives once in GeometricMonitorBase (CRTP): ingest + drift
+// maintenance + sphere-test cadence on the local path, collect + average
+// + re-arm + wire charging on the sync path, and the stats aggregation.
+// A derived monitor supplies only the geometry of its f:
+//    UpdateDrift(st, key)   O(d) incremental drift maintenance
+//    RefreshVector(st)      full statistics-vector rebuild
+//    SphereViolation(st)    the local ball-vs-surface test
+//    InstallAverage()       f on the fresh global average + per-site
+//                           re-arm of f-specific ball state
+//
 // Drift tracking (the steady-state cost of the local sphere test):
 //  * kIncremental (default) — each arrival touches exactly one counter
 //    per row, so the site updates only those d statistics-vector entries
@@ -88,42 +99,52 @@ Result<double> GlobalSelfJoin(const std::vector<EcmSketch<Counter>>& sites,
   return merged->SelfJoin(range);
 }
 
-/// Threshold monitor for the global sliding-window self-join size F₂.
+/// Knobs shared by every geometric monitor (the self-join monitor's
+/// Config is exactly this; the point monitor's adds the watched key).
+struct GeometricMonitorConfig {
+  double threshold = 0.0;    ///< alarm when the global f >= threshold
+  uint64_t check_every = 1;  ///< sphere-test cadence, in per-site updates
+  DriftTracking drift = DriftTracking::kIncremental;
+  /// Ticks between full refreshes of the incrementally tracked
+  /// statistics vector (staleness bound under window expiry);
+  /// 0 = window_len / 4.
+  uint64_t refresh_every = 0;
+};
+
+namespace geom_internal {
+
+/// Per-site state every monitor keeps; f-specific monitors may extend it
+/// with extra ball bookkeeping (the self-join monitor's per-row norms).
 template <SlidingWindowCounter Counter>
-class GeometricSelfJoinMonitorT {
+struct SiteStateBase {
+  SiteStateBase(NodeId id, const EcmConfig& cfg, size_t dim)
+      : node(id, cfg), v_sync(dim, 0.0), v_cur(dim, 0.0) {}
+  Site<Counter> node;
+  std::vector<double> v_sync;  ///< statistics vector at the last sync
+  std::vector<double> v_cur;   ///< tracked current statistics vector
+  double radius_sq = 0.0;      ///< ‖δ‖²
+  Timestamp last_refresh = 0;
+  uint64_t updates = 0;        ///< arrivals (stats)
+  uint64_t cadence_ticks = 0;  ///< arrivals since the initial sync
+  uint64_t checks = 0;
+  uint64_t violations = 0;
+};
+
+template <SlidingWindowCounter Counter>
+struct SelfJoinSiteState : SiteStateBase<Counter> {
+  SelfJoinSiteState(NodeId id, const EcmConfig& cfg, size_t dim, int depth)
+      : SiteStateBase<Counter>(id, cfg, dim),
+        row_sq(static_cast<size_t>(depth), 0.0) {}
+  std::vector<double> row_sq;  ///< per-row ‖e + δ/2‖² (ball-center norms)
+};
+
+}  // namespace geom_internal
+
+/// CRTP base: the f-independent sync/cadence scaffolding (see the file
+/// comment for the four hooks a derived monitor implements).
+template <typename Derived, SlidingWindowCounter Counter, typename SiteState>
+class GeometricMonitorBase {
  public:
-  struct Config {
-    double threshold = 0.0;    ///< alarm when global F₂ >= threshold
-    uint64_t check_every = 1;  ///< sphere-test cadence, in per-site updates
-    DriftTracking drift = DriftTracking::kIncremental;
-    /// Ticks between full refreshes of the incrementally tracked
-    /// statistics vector (staleness bound under window expiry);
-    /// 0 = window_len / 4.
-    uint64_t refresh_every = 0;
-  };
-
-  GeometricSelfJoinMonitorT(int num_sites, const EcmConfig& sketch_config,
-                            const Config& config,
-                            Transport* transport = nullptr)
-      : sketch_config_(sketch_config),
-        config_(config),
-        transport_(transport),
-        dim_(static_cast<size_t>(sketch_config.width) * sketch_config.depth),
-        e_avg_(dim_, 0.0) {
-    if (!transport_) {
-      owned_transport_ = std::make_unique<LoopbackTransport>();
-      transport_ = owned_transport_.get();
-    }
-    refresh_period_ =
-        config_.refresh_every
-            ? config_.refresh_every
-            : std::max<uint64_t>(sketch_config_.window_len / 4, 1);
-    sites_.reserve(static_cast<size_t>(num_sites));
-    for (int i = 0; i < num_sites; ++i) {
-      sites_.emplace_back(i, sketch_config_, dim_, sketch_config_.depth);
-    }
-  }
-
   /// Routes one arrival to `site` and runs the local sphere test on its
   /// cadence; a violation synchronizes inline. Returns true iff this
   /// arrival caused a global sync.
@@ -141,16 +162,18 @@ class GeometricSelfJoinMonitorT {
     st.node.Ingest(key, ts, count);
     ++st.updates;
     if (!synced_once_) return true;  // initial sync still outstanding
-    if (config_.drift == DriftTracking::kIncremental) UpdateDrift(&st, key);
+    if (config_.drift == DriftTracking::kIncremental) {
+      derived().UpdateDrift(&st, key);
+    }
     const uint64_t cadence = std::max<uint64_t>(config_.check_every, 1);
     if (++st.cadence_ticks % cadence != 0) return false;
     ++st.checks;
     if (config_.drift == DriftTracking::kRebuild) {
-      RefreshVector(&st);
+      derived().RefreshVector(&st);
     } else if (st.node.sketch().Now() - st.last_refresh >= refresh_period_) {
-      RefreshVector(&st);
+      derived().RefreshVector(&st);
     }
-    if (!SphereViolation(st)) return false;
+    if (!derived().SphereViolation(st)) return false;
     ++st.violations;
     return true;
   }
@@ -162,37 +185,21 @@ class GeometricSelfJoinMonitorT {
     const size_t n = sites_.size();
     std::fill(e_avg_.begin(), e_avg_.end(), 0.0);
     for (SiteState& st : sites_) {
-      RefreshVector(&st);
+      derived().RefreshVector(&st);
       st.v_sync = st.v_cur;
       for (size_t k = 0; k < dim_; ++k) e_avg_[k] += st.v_sync[k];
     }
     for (double& v : e_avg_) v /= static_cast<double>(n);
 
-    // δ = 0 at every site after a sync: every ball center collapses onto
-    // e_avg, so the per-row center norms are shared — and f on the
-    // average vector is their row-wise minimum.
-    const uint32_t width = sketch_config_.width;
-    std::vector<double> base_row_sq(static_cast<size_t>(sketch_config_.depth));
-    double f_avg = std::numeric_limits<double>::infinity();
-    for (int row = 0; row < sketch_config_.depth; ++row) {
-      double norm_sq = 0.0;
-      for (uint32_t col = 0; col < width; ++col) {
-        const double v = e_avg_[static_cast<size_t>(row) * width + col];
-        norm_sq += v * v;
-      }
-      base_row_sq[static_cast<size_t>(row)] = norm_sq;
-      f_avg = std::min(f_avg, norm_sq);
-    }
+    // δ = 0 at every site after a sync; the derived hook evaluates f on
+    // the fresh average and re-arms its f-specific ball state.
     const bool was_above = above_;
-    estimate_ = static_cast<double>(n) * static_cast<double>(n) * f_avg;
+    estimate_ = derived().InstallAverage();
     above_ = estimate_ >= config_.threshold;
     if (!was_above && above_) ++stats_.crossings_signaled;
     ++stats_.syncs;
     synced_once_ = true;
-    for (SiteState& st : sites_) {
-      st.radius_sq = 0.0;
-      st.row_sq = base_row_sq;
-    }
+    for (SiteState& st : sites_) st.radius_sq = 0.0;
 
     // Vectors up, the average back down — the sync's wire cost.
     for (const SiteState& st : sites_) {
@@ -208,7 +215,7 @@ class GeometricSelfJoinMonitorT {
   /// Side of the threshold established by the most recent sync.
   bool AboveThreshold() const { return above_; }
 
-  /// Global F₂ estimate at the most recent sync.
+  /// Global estimate of f at the most recent sync.
   double GlobalEstimate() const { return estimate_; }
 
   /// Aggregated monitor counters (per-site tallies summed on demand, so
@@ -229,99 +236,34 @@ class GeometricSelfJoinMonitorT {
 
   Transport& transport() { return *transport_; }
 
- private:
-  struct SiteState {
-    SiteState(NodeId id, const EcmConfig& cfg, size_t dim, int depth)
-        : node(id, cfg),
-          v_sync(dim, 0.0),
-          v_cur(dim, 0.0),
-          row_sq(static_cast<size_t>(depth), 0.0) {}
-    Site<Counter> node;
-    std::vector<double> v_sync;  ///< statistics vector at the last sync
-    std::vector<double> v_cur;   ///< tracked current statistics vector
-    std::vector<double> row_sq;  ///< per-row ‖e + δ/2‖² (ball-center norms)
-    double radius_sq = 0.0;      ///< ‖δ‖²
-    Timestamp last_refresh = 0;
-    uint64_t updates = 0;        ///< arrivals (stats)
-    uint64_t cadence_ticks = 0;  ///< arrivals since the initial sync
-    uint64_t checks = 0;
-    uint64_t violations = 0;
-  };
-
-  /// O(d) incremental maintenance: the arrival of `key` touched exactly
-  /// one counter per row; re-evaluate those d entries and update ‖δ‖²
-  /// and the per-row center norms by difference.
-  void UpdateDrift(SiteState* st, uint64_t key) {
-    const EcmSketch<Counter>& sk = st->node.sketch();
-    const Timestamp now = sk.Now();
-    double ests[kMaxSketchDepth];
-    uint32_t cols[kMaxSketchDepth];
-    sk.PointQueryRowsAt(key, sketch_config_.window_len, now, ests, cols);
-    const uint32_t width = sketch_config_.width;
-    for (int j = 0; j < sketch_config_.depth; ++j) {
-      const size_t k = static_cast<size_t>(j) * width + cols[j];
-      const double new_v = ests[j];
-      const double old_v = st->v_cur[k];
-      if (new_v == old_v) continue;
-      const double old_d = old_v - st->v_sync[k];
-      const double new_d = new_v - st->v_sync[k];
-      st->radius_sq += new_d * new_d - old_d * old_d;
-      const double old_c = e_avg_[k] + 0.5 * old_d;
-      const double new_c = e_avg_[k] + 0.5 * new_d;
-      st->row_sq[static_cast<size_t>(j)] += new_c * new_c - old_c * old_c;
-      st->v_cur[k] = new_v;
+ protected:
+  GeometricMonitorBase(const EcmConfig& sketch_config,
+                       const GeometricMonitorConfig& config,
+                       Transport* transport, size_t dim)
+      : sketch_config_(sketch_config),
+        config_(config),
+        transport_(transport),
+        dim_(dim),
+        e_avg_(dim, 0.0) {
+    if (!transport_) {
+      owned_transport_ = std::make_unique<LoopbackTransport>();
+      transport_ = owned_transport_.get();
     }
+    refresh_period_ =
+        config_.refresh_every
+            ? config_.refresh_every
+            : std::max<uint64_t>(sketch_config_.window_len / 4, 1);
   }
 
-  /// Full O(w·d) re-materialization of the site's statistics vector and
-  /// exact recomputation of the ball quantities — the rebuild reference,
-  /// the incremental mode's periodic staleness refresh, and the sync
-  /// collection path.
-  void RefreshVector(SiteState* st) const {
-    const EcmSketch<Counter>& sk = st->node.sketch();
-    const Timestamp now = sk.Now();
-    const uint32_t width = sketch_config_.width;
-    for (int row = 0; row < sketch_config_.depth; ++row) {
-      sk.EstimateRowAt(row, sketch_config_.window_len, now,
-                       &st->v_cur[static_cast<size_t>(row) * width]);
-    }
-    double radius_sq = 0.0;
-    for (size_t k = 0; k < dim_; ++k) {
-      const double drift = st->v_cur[k] - st->v_sync[k];
-      radius_sq += drift * drift;
-    }
-    st->radius_sq = radius_sq;
-    for (int row = 0; row < sketch_config_.depth; ++row) {
-      double norm_sq = 0.0;
-      for (uint32_t col = 0; col < width; ++col) {
-        const size_t k = static_cast<size_t>(row) * width + col;
-        const double c = e_avg_[k] + 0.5 * (st->v_cur[k] - st->v_sync[k]);
-        norm_sq += c * c;
-      }
-      st->row_sq[static_cast<size_t>(row)] = norm_sq;
-    }
-    st->last_refresh = now;
-  }
+  ~GeometricMonitorBase() = default;
 
-  /// O(d) sphere test from the maintained ball quantities: f over the
-  /// ball is bounded row by row by (‖c_row‖ ± r)².
-  bool SphereViolation(const SiteState& st) const {
-    const double n = static_cast<double>(sites_.size());
-    const double threshold_avg = config_.threshold / (n * n);
-    const double radius = 0.5 * std::sqrt(std::max(st.radius_sq, 0.0));
-    double bound = std::numeric_limits<double>::infinity();
-    for (int row = 0; row < sketch_config_.depth; ++row) {
-      const double norm =
-          std::sqrt(std::max(st.row_sq[static_cast<size_t>(row)], 0.0));
-      const double extreme =
-          above_ ? std::max(norm - radius, 0.0) : norm + radius;
-      bound = std::min(bound, extreme * extreme);
-    }
-    return above_ ? bound < threshold_avg : bound >= threshold_avg;
+  Derived& derived() { return static_cast<Derived&>(*this); }
+  const Derived& derived() const {
+    return static_cast<const Derived&>(*this);
   }
 
   EcmConfig sketch_config_;
-  Config config_;
+  GeometricMonitorConfig config_;
   Transport* transport_;
   std::unique_ptr<Transport> owned_transport_;
   size_t dim_;
@@ -334,137 +276,165 @@ class GeometricSelfJoinMonitorT {
   MonitorStats stats_;  ///< sync-side counters (updated under quiescence)
 };
 
+/// Threshold monitor for the global sliding-window self-join size F₂.
+template <SlidingWindowCounter Counter>
+class GeometricSelfJoinMonitorT
+    : public GeometricMonitorBase<GeometricSelfJoinMonitorT<Counter>, Counter,
+                                  geom_internal::SelfJoinSiteState<Counter>> {
+  using SiteState = geom_internal::SelfJoinSiteState<Counter>;
+  using Base = GeometricMonitorBase<GeometricSelfJoinMonitorT, Counter,
+                                    SiteState>;
+  friend Base;
+
+ public:
+  using Config = GeometricMonitorConfig;
+
+  GeometricSelfJoinMonitorT(int num_sites, const EcmConfig& sketch_config,
+                            const Config& config,
+                            Transport* transport = nullptr)
+      : Base(sketch_config, config, transport,
+             static_cast<size_t>(sketch_config.width) *
+                 sketch_config.depth) {
+    this->sites_.reserve(static_cast<size_t>(num_sites));
+    for (int i = 0; i < num_sites; ++i) {
+      this->sites_.emplace_back(i, sketch_config, this->dim_,
+                                sketch_config.depth);
+    }
+  }
+
+ private:
+  /// O(d) incremental maintenance: the arrival of `key` touched exactly
+  /// one counter per row; re-evaluate those d entries and update ‖δ‖²
+  /// and the per-row center norms by difference.
+  void UpdateDrift(SiteState* st, uint64_t key) {
+    const EcmSketch<Counter>& sk = st->node.sketch();
+    const Timestamp now = sk.Now();
+    double ests[kMaxSketchDepth];
+    uint32_t cols[kMaxSketchDepth];
+    sk.PointQueryRowsAt(key, this->sketch_config_.window_len, now, ests,
+                        cols);
+    const uint32_t width = this->sketch_config_.width;
+    for (int j = 0; j < this->sketch_config_.depth; ++j) {
+      const size_t k = static_cast<size_t>(j) * width + cols[j];
+      const double new_v = ests[j];
+      const double old_v = st->v_cur[k];
+      if (new_v == old_v) continue;
+      const double old_d = old_v - st->v_sync[k];
+      const double new_d = new_v - st->v_sync[k];
+      st->radius_sq += new_d * new_d - old_d * old_d;
+      const double old_c = this->e_avg_[k] + 0.5 * old_d;
+      const double new_c = this->e_avg_[k] + 0.5 * new_d;
+      st->row_sq[static_cast<size_t>(j)] += new_c * new_c - old_c * old_c;
+      st->v_cur[k] = new_v;
+    }
+  }
+
+  /// Full O(w·d) re-materialization of the site's statistics vector and
+  /// exact recomputation of the ball quantities — the rebuild reference,
+  /// the incremental mode's periodic staleness refresh, and the sync
+  /// collection path.
+  void RefreshVector(SiteState* st) const {
+    const EcmSketch<Counter>& sk = st->node.sketch();
+    const Timestamp now = sk.Now();
+    const uint32_t width = this->sketch_config_.width;
+    for (int row = 0; row < this->sketch_config_.depth; ++row) {
+      sk.EstimateRowAt(row, this->sketch_config_.window_len, now,
+                       &st->v_cur[static_cast<size_t>(row) * width]);
+    }
+    double radius_sq = 0.0;
+    for (size_t k = 0; k < this->dim_; ++k) {
+      const double drift = st->v_cur[k] - st->v_sync[k];
+      radius_sq += drift * drift;
+    }
+    st->radius_sq = radius_sq;
+    for (int row = 0; row < this->sketch_config_.depth; ++row) {
+      double norm_sq = 0.0;
+      for (uint32_t col = 0; col < width; ++col) {
+        const size_t k = static_cast<size_t>(row) * width + col;
+        const double c =
+            this->e_avg_[k] + 0.5 * (st->v_cur[k] - st->v_sync[k]);
+        norm_sq += c * c;
+      }
+      st->row_sq[static_cast<size_t>(row)] = norm_sq;
+    }
+    st->last_refresh = now;
+  }
+
+  /// O(d) sphere test from the maintained ball quantities: f over the
+  /// ball is bounded row by row by (‖c_row‖ ± r)².
+  bool SphereViolation(const SiteState& st) const {
+    const double n = static_cast<double>(this->sites_.size());
+    const double threshold_avg = this->config_.threshold / (n * n);
+    const double radius = 0.5 * std::sqrt(std::max(st.radius_sq, 0.0));
+    double bound = std::numeric_limits<double>::infinity();
+    for (int row = 0; row < this->sketch_config_.depth; ++row) {
+      const double norm =
+          std::sqrt(std::max(st.row_sq[static_cast<size_t>(row)], 0.0));
+      const double extreme =
+          this->above_ ? std::max(norm - radius, 0.0) : norm + radius;
+      bound = std::min(bound, extreme * extreme);
+    }
+    return this->above_ ? bound < threshold_avg : bound >= threshold_avg;
+  }
+
+  /// After a sync every ball center collapses onto e_avg, so the per-row
+  /// center norms are shared across sites — and f on the average vector
+  /// is their row-wise minimum, scaled by n².
+  double InstallAverage() {
+    const uint32_t width = this->sketch_config_.width;
+    std::vector<double> base_row_sq(
+        static_cast<size_t>(this->sketch_config_.depth));
+    double f_avg = std::numeric_limits<double>::infinity();
+    for (int row = 0; row < this->sketch_config_.depth; ++row) {
+      double norm_sq = 0.0;
+      for (uint32_t col = 0; col < width; ++col) {
+        const double v = this->e_avg_[static_cast<size_t>(row) * width + col];
+        norm_sq += v * v;
+      }
+      base_row_sq[static_cast<size_t>(row)] = norm_sq;
+      f_avg = std::min(f_avg, norm_sq);
+    }
+    for (SiteState& st : this->sites_) st.row_sq = base_row_sq;
+    const double n = static_cast<double>(this->sites_.size());
+    return n * n * f_avg;
+  }
+};
+
 /// Threshold monitor for one key's global sliding-window count — the
 /// distributed-trigger ("DDoS victim") scenario. Syncs ship only the d
 /// per-row estimates of the watched key, so they cost 2·n·d doubles each.
 template <SlidingWindowCounter Counter>
-class GeometricPointMonitorT {
+class GeometricPointMonitorT
+    : public GeometricMonitorBase<GeometricPointMonitorT<Counter>, Counter,
+                                  geom_internal::SiteStateBase<Counter>> {
+  using SiteState = geom_internal::SiteStateBase<Counter>;
+  using Base =
+      GeometricMonitorBase<GeometricPointMonitorT, Counter, SiteState>;
+  friend Base;
+
  public:
-  struct Config {
-    uint64_t key = 0;          ///< the watched key
-    double threshold = 0.0;    ///< alarm when its global count >= threshold
-    uint64_t check_every = 1;  ///< sphere-test cadence, in per-site updates
-    DriftTracking drift = DriftTracking::kIncremental;
-    uint64_t refresh_every = 0;  ///< 0 = window_len / 4
+  struct Config : GeometricMonitorConfig {
+    uint64_t key = 0;  ///< the watched key
   };
 
   GeometricPointMonitorT(int num_sites, const EcmConfig& sketch_config,
                          const Config& config, Transport* transport = nullptr)
-      : sketch_config_(sketch_config),
-        config_(config),
-        transport_(transport),
-        dim_(static_cast<size_t>(sketch_config.depth)),
-        e_avg_(dim_, 0.0) {
-    if (!transport_) {
-      owned_transport_ = std::make_unique<LoopbackTransport>();
-      transport_ = owned_transport_.get();
-    }
-    refresh_period_ =
-        config_.refresh_every
-            ? config_.refresh_every
-            : std::max<uint64_t>(sketch_config_.window_len / 4, 1);
-    sites_.reserve(static_cast<size_t>(num_sites));
+      : Base(sketch_config, config, transport,
+             static_cast<size_t>(sketch_config.depth)),
+        key_(config.key) {
+    this->sites_.reserve(static_cast<size_t>(num_sites));
     for (int i = 0; i < num_sites; ++i) {
-      sites_.emplace_back(i, sketch_config_, dim_);
+      this->sites_.emplace_back(i, sketch_config, this->dim_);
     }
     // All sites share the hash seed, so the watched key's row buckets are
     // site-independent.
     std::fill(watched_cols_, watched_cols_ + kMaxSketchDepth, 0u);
-    if (!sites_.empty()) {
-      sites_[0].node.sketch().RowBuckets(config_.key, watched_cols_);
+    if (!this->sites_.empty()) {
+      this->sites_[0].node.sketch().RowBuckets(key_, watched_cols_);
     }
   }
-
-  bool Process(int site, uint64_t key, Timestamp ts, uint64_t count = 1) {
-    const bool violation = LocalProcess(site, key, ts, count);
-    if (violation) GlobalSync();
-    return violation;
-  }
-
-  bool LocalProcess(int site, uint64_t key, Timestamp ts, uint64_t count = 1) {
-    SiteState& st = sites_[static_cast<size_t>(site)];
-    st.node.Ingest(key, ts, count);
-    ++st.updates;
-    if (!synced_once_) return true;
-    if (config_.drift == DriftTracking::kIncremental) UpdateDrift(&st, key);
-    const uint64_t cadence = std::max<uint64_t>(config_.check_every, 1);
-    if (++st.cadence_ticks % cadence != 0) return false;
-    ++st.checks;
-    if (config_.drift == DriftTracking::kRebuild) {
-      RefreshVector(&st);
-    } else if (st.node.sketch().Now() - st.last_refresh >= refresh_period_) {
-      RefreshVector(&st);
-    }
-    if (!SphereViolation(st)) return false;
-    ++st.violations;
-    return true;
-  }
-
-  void GlobalSync() {
-    const size_t n = sites_.size();
-    std::fill(e_avg_.begin(), e_avg_.end(), 0.0);
-    for (SiteState& st : sites_) {
-      RefreshVector(&st);
-      st.v_sync = st.v_cur;
-      for (size_t k = 0; k < dim_; ++k) e_avg_[k] += st.v_sync[k];
-    }
-    for (double& v : e_avg_) v /= static_cast<double>(n);
-
-    const bool was_above = above_;
-    estimate_ = static_cast<double>(n) *
-                *std::min_element(e_avg_.begin(), e_avg_.end());
-    above_ = estimate_ >= config_.threshold;
-    if (!was_above && above_) ++stats_.crossings_signaled;
-    ++stats_.syncs;
-    synced_once_ = true;
-    for (SiteState& st : sites_) st.radius_sq = 0.0;
-
-    for (const SiteState& st : sites_) {
-      transport_->Send(st.node.id(), kCoordinatorNode, VectorWireSize(dim_));
-    }
-    for (const SiteState& st : sites_) {
-      transport_->Send(kCoordinatorNode, st.node.id(), VectorWireSize(dim_));
-    }
-    stats_.network.messages += 2 * n;
-    stats_.network.bytes += 2ull * n * VectorWireSize(dim_);
-  }
-
-  bool AboveThreshold() const { return above_; }
-
-  /// Global windowed-count estimate of the watched key at the last sync.
-  double GlobalEstimate() const { return estimate_; }
-
-  MonitorStats stats() const {
-    MonitorStats s = stats_;
-    for (const SiteState& st : sites_) {
-      s.updates += st.updates;
-      s.local_checks += st.checks;
-      s.local_violations += st.violations;
-    }
-    return s;
-  }
-
-  const EcmSketch<Counter>& site_sketch(int site) const {
-    return sites_[static_cast<size_t>(site)].node.sketch();
-  }
-
-  Transport& transport() { return *transport_; }
 
  private:
-  struct SiteState {
-    SiteState(NodeId id, const EcmConfig& cfg, size_t dim)
-        : node(id, cfg), v_sync(dim, 0.0), v_cur(dim, 0.0) {}
-    Site<Counter> node;
-    std::vector<double> v_sync;
-    std::vector<double> v_cur;
-    double radius_sq = 0.0;
-    Timestamp last_refresh = 0;
-    uint64_t updates = 0;
-    uint64_t cadence_ticks = 0;
-    uint64_t checks = 0;
-    uint64_t violations = 0;
-  };
-
   /// The watched key's row-j entry moves only when an arrival collides
   /// with it in row j; compare the arrival's buckets against the watched
   /// buckets and re-evaluate just the collided rows.
@@ -473,11 +443,11 @@ class GeometricPointMonitorT {
     uint32_t cols[kMaxSketchDepth];
     sk.RowBuckets(key, cols);
     const Timestamp now = sk.Now();
-    for (int j = 0; j < sketch_config_.depth; ++j) {
+    for (int j = 0; j < this->sketch_config_.depth; ++j) {
       if (cols[j] != watched_cols_[j]) continue;
       const double new_v =
           sk.CounterAt(j, watched_cols_[j])
-              .Estimate(now, sketch_config_.window_len);
+              .Estimate(now, this->sketch_config_.window_len);
       const size_t k = static_cast<size_t>(j);
       const double old_v = st->v_cur[k];
       if (new_v == old_v) continue;
@@ -491,10 +461,10 @@ class GeometricPointMonitorT {
   void RefreshVector(SiteState* st) const {
     const EcmSketch<Counter>& sk = st->node.sketch();
     const Timestamp now = sk.Now();
-    sk.PointQueryRowsAt(config_.key, sketch_config_.window_len, now,
+    sk.PointQueryRowsAt(key_, this->sketch_config_.window_len, now,
                         st->v_cur.data());
     double radius_sq = 0.0;
-    for (size_t k = 0; k < dim_; ++k) {
+    for (size_t k = 0; k < this->dim_; ++k) {
       const double drift = st->v_cur[k] - st->v_sync[k];
       radius_sq += drift * drift;
     }
@@ -505,31 +475,28 @@ class GeometricPointMonitorT {
   /// f = min_j is 1-Lipschitz: over the ball it stays within ±r of
   /// min_j c_j, computed fresh from the d tracked entries (O(d)).
   bool SphereViolation(const SiteState& st) const {
-    const double n = static_cast<double>(sites_.size());
-    const double threshold_avg = config_.threshold / n;
+    const double n = static_cast<double>(this->sites_.size());
+    const double threshold_avg = this->config_.threshold / n;
     const double radius = 0.5 * std::sqrt(std::max(st.radius_sq, 0.0));
     double min_center = std::numeric_limits<double>::infinity();
-    for (size_t k = 0; k < dim_; ++k) {
-      min_center =
-          std::min(min_center, e_avg_[k] + 0.5 * (st.v_cur[k] - st.v_sync[k]));
+    for (size_t k = 0; k < this->dim_; ++k) {
+      min_center = std::min(
+          min_center,
+          this->e_avg_[k] + 0.5 * (st.v_cur[k] - st.v_sync[k]));
     }
-    return above_ ? min_center - radius < threshold_avg
-                  : min_center + radius >= threshold_avg;
+    return this->above_ ? min_center - radius < threshold_avg
+                        : min_center + radius >= threshold_avg;
   }
 
-  EcmConfig sketch_config_;
-  Config config_;
-  Transport* transport_;
-  std::unique_ptr<Transport> owned_transport_;
-  size_t dim_;
-  uint64_t refresh_period_;
+  /// f on the average is the minimum per-row estimate, scaled by n; no
+  /// extra per-site ball state to re-arm beyond the shared ‖δ‖² reset.
+  double InstallAverage() {
+    return static_cast<double>(this->sites_.size()) *
+           *std::min_element(this->e_avg_.begin(), this->e_avg_.end());
+  }
+
+  const uint64_t key_;
   uint32_t watched_cols_[kMaxSketchDepth];
-  std::vector<SiteState> sites_;
-  std::vector<double> e_avg_;
-  double estimate_ = 0.0;
-  bool above_ = false;
-  bool synced_once_ = false;
-  MonitorStats stats_;
 };
 
 /// The paper's default instantiations (ECM-EH sites).

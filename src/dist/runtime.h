@@ -3,10 +3,10 @@
 // three private site/coordinator plumbings the aggregation tree, the
 // scheduled propagator and the geometric monitors used to carry.
 //
-//  * Site<Counter>      — one observation point: a counter-generic
-//    EcmSketch plus an optional dyadic stack, with per-arrival and
-//    batched ingest. Exactly one ParallelIngest worker ever touches a
-//    site, so sites need no locks.
+//  * Site<Counter>      — one observation point (dist/site.h): a
+//    counter-generic EcmSketch plus an optional dyadic stack, with
+//    per-arrival and batched ingest. Exactly one ParallelIngest worker
+//    ever touches a site, so sites need no locks.
 //  * Coordinator<Counter> — owns the sites and the global views: flat
 //    collect-and-merge (§5.3) and balanced-tree aggregation (§5.1), both
 //    shipping through the Transport.
@@ -26,69 +26,20 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
-#include "src/core/dyadic.h"
 #include "src/core/ecm_sketch.h"
 #include "src/dist/aggregation_tree.h"
 #include "src/dist/serialize.h"
+#include "src/dist/site.h"
 #include "src/dist/transport.h"
 #include "src/stream/event.h"
 #include "src/stream/generators.h"
 #include "src/util/result.h"
 
 namespace ecm {
-
-/// One observation point of a distributed run: a local ECM-sketch of the
-/// site's stream and, when a key domain is declared, a dyadic stack for
-/// heavy-hitter / range / quantile queries over it.
-template <SlidingWindowCounter Counter>
-class Site {
- public:
-  struct Options {
-    int domain_bits = 0;  ///< > 0 attaches a DyadicEcm over 2^bits keys
-  };
-
-  Site(NodeId id, const EcmConfig& config, const Options& options = {})
-      : id_(id), sketch_(config) {
-    if (options.domain_bits > 0) {
-      dyadic_.emplace(options.domain_bits, config);
-    }
-  }
-
-  /// Registers one arrival at this site.
-  void Ingest(uint64_t key, Timestamp ts, uint64_t count = 1) {
-    sketch_.Add(key, ts, count);
-    if (dyadic_) dyadic_->Add(key, ts, count);
-    ++updates_;
-  }
-
-  /// Batched ingest: all events must belong to this site and arrive in
-  /// timestamp order (any per-site subsequence of a stream qualifies).
-  void IngestBatch(const StreamEvent* events, size_t n) {
-    for (size_t i = 0; i < n; ++i) {
-      Ingest(events[i].key, events[i].ts, 1);
-    }
-  }
-
-  NodeId id() const { return id_; }
-  uint64_t updates() const { return updates_; }
-
-  const EcmSketch<Counter>& sketch() const { return sketch_; }
-  EcmSketch<Counter>& mutable_sketch() { return sketch_; }
-  const DyadicEcm<Counter>* dyadic() const {
-    return dyadic_ ? &*dyadic_ : nullptr;
-  }
-
- private:
-  NodeId id_;
-  EcmSketch<Counter> sketch_;
-  std::optional<DyadicEcm<Counter>> dyadic_;
-  uint64_t updates_ = 0;
-};
 
 /// The coordinator of one distributed run: owns `num_sites` sites and
 /// produces global views by shipping their sketches over the Transport.
@@ -120,8 +71,9 @@ class Coordinator {
   Transport& transport() { return *transport_; }
   const Transport& transport() const { return *transport_; }
 
-  /// Flat §5.3 aggregation: every site ships its sketch to the
-  /// coordinator (n messages at exact wire size), which merges them
+  /// Flat §5.3 aggregation: every site ships its serialized sketch to the
+  /// coordinator (n messages at exact wire size; payload-carrying
+  /// transports deliver the bytes verbatim), which merges them
   /// order-preservingly with window error parameter `eps_prime_sw`
   /// (defaults to the sites' own ε_sw).
   Result<EcmSketch<Counter>> CollectAndMerge(double eps_prime_sw = -1.0,
@@ -129,7 +81,8 @@ class Coordinator {
     std::vector<const EcmSketch<Counter>*> ptrs;
     ptrs.reserve(sites_.size());
     for (const auto& s : sites_) {
-      transport_->Send(s.id(), kCoordinatorNode, SketchWireSize(s.sketch()));
+      const std::vector<uint8_t> wire = SerializeSketch(s.sketch());
+      transport_->Send(s.id(), kCoordinatorNode, wire.data(), wire.size());
       ptrs.push_back(&s.sketch());
     }
     const double eps = eps_prime_sw > 0.0 ? eps_prime_sw : config_.epsilon_sw;

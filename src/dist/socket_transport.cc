@@ -1,0 +1,634 @@
+#include "src/dist/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "src/util/bytes.h"
+
+namespace ecm {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// FNV-1a, streamable (same polynomial as dist/serialize's WireChecksum;
+// computed incrementally here because a frame checksum spans the header
+// fields and the payload without concatenating them).
+constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvExtend(uint64_t h, const uint8_t* data, size_t size) {
+  for (size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+constexpr uint8_t kFrameMagic[4] = {'E', 'C', 'M', 'F'};
+// Offsets inside the fixed header.
+constexpr size_t kChecksummedOffset = sizeof(kFrameMagic);  // type..len
+constexpr size_t kLenOffset = 4 + 1 + 4 + 4 + 8;
+constexpr size_t kCrcOffset = kLenOffset + 4;
+constexpr size_t kChecksummedHeaderBytes = kCrcOffset - kChecksummedOffset;
+
+bool ValidFrameType(uint8_t t) {
+  return t >= static_cast<uint8_t>(FrameType::kHello) &&
+         t <= static_cast<uint8_t>(FrameType::kDone);
+}
+
+// Writes all of `data` to `fd`, surviving partial writes and EINTR.
+Status WriteAll(int fd, const uint8_t* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("socket write: ") +
+                             std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+uint64_t NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeFrame(const Frame& frame) {
+  ByteWriter w;
+  w.PutRaw(kFrameMagic, sizeof(kFrameMagic));
+  w.PutFixed<uint8_t>(static_cast<uint8_t>(frame.type));
+  w.PutFixed<int32_t>(frame.from);
+  w.PutFixed<int32_t>(frame.to);
+  w.PutFixed<uint64_t>(frame.seq);
+  w.PutFixed<uint32_t>(static_cast<uint32_t>(frame.payload.size()));
+  uint64_t crc = FnvExtend(kFnvOffset, w.bytes().data() + kChecksummedOffset,
+                           kChecksummedHeaderBytes);
+  crc = FnvExtend(crc, frame.payload.data(), frame.payload.size());
+  w.PutFixed<uint64_t>(crc);
+  w.PutRaw(frame.payload.data(), frame.payload.size());
+  return w.MoveBytes();
+}
+
+void FrameDecoder::Feed(const uint8_t* data, size_t size) {
+  // Compact the consumed prefix before it dominates the buffer.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + size);
+}
+
+Result<std::optional<Frame>> FrameDecoder::Next() {
+  if (corrupt_) {
+    return Status::Corruption("frame stream already corrupt");
+  }
+  if (buffered() < kFrameHeaderBytes) return std::optional<Frame>{};
+  const uint8_t* h = buf_.data() + pos_;
+  if (std::memcmp(h, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    corrupt_ = true;
+    return Status::Corruption("bad frame magic");
+  }
+  uint32_t len;
+  std::memcpy(&len, h + kLenOffset, sizeof(len));
+  if (len > kMaxFramePayload) {
+    corrupt_ = true;
+    return Status::Corruption("oversized frame payload length");
+  }
+  if (buffered() < kFrameHeaderBytes + len) return std::optional<Frame>{};
+  uint64_t expected;
+  std::memcpy(&expected, h + kCrcOffset, sizeof(expected));
+  uint64_t crc =
+      FnvExtend(kFnvOffset, h + kChecksummedOffset, kChecksummedHeaderBytes);
+  crc = FnvExtend(crc, h + kFrameHeaderBytes, len);
+  if (crc != expected) {
+    corrupt_ = true;
+    return Status::Corruption("frame checksum mismatch");
+  }
+  if (!ValidFrameType(h[kChecksummedOffset])) {
+    corrupt_ = true;
+    return Status::Corruption("unknown frame type");
+  }
+  Frame f;
+  f.type = static_cast<FrameType>(h[kChecksummedOffset]);
+  int32_t from;
+  int32_t to;
+  std::memcpy(&from, h + 5, sizeof(from));
+  std::memcpy(&to, h + 9, sizeof(to));
+  std::memcpy(&f.seq, h + 13, sizeof(f.seq));
+  f.from = from;
+  f.to = to;
+  f.payload.assign(h + kFrameHeaderBytes, h + kFrameHeaderBytes + len);
+  pos_ += kFrameHeaderBytes + len;
+  return std::optional<Frame>{std::move(f)};
+}
+
+std::vector<uint8_t> EncodeHelloPayload(uint32_t epoch) {
+  ByteWriter w;
+  w.PutVarint(epoch);
+  return w.MoveBytes();
+}
+
+Result<uint32_t> DecodeHelloPayload(const std::vector<uint8_t>& payload) {
+  ByteReader r(payload);
+  auto epoch = r.GetVarint();
+  if (!epoch.ok()) return epoch.status();
+  if (*epoch == 0 || *epoch > UINT32_MAX) {
+    return Status::Corruption("hello epoch out of range");
+  }
+  return static_cast<uint32_t>(*epoch);
+}
+
+// ---------------------------------------------------------------------------
+// SocketTransport
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<SocketTransport>> SocketTransport::Connect(
+    const std::string& host, int port, NodeId self, const Options& options) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("SocketTransport: bad IPv4 address " +
+                                   host);
+  }
+  int fd = -1;
+  const int attempts = options.connect_attempts > 0 ? options.connect_attempts
+                                                    : 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::IOError(std::string("socket(): ") +
+                             std::strerror(errno));
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+    if (attempt + 1 < attempts) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.connect_retry_ms));
+    }
+  }
+  if (fd < 0) {
+    return Status::IOError("SocketTransport: connect to " + host + ":" +
+                           std::to_string(port) + " failed");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  std::unique_ptr<SocketTransport> t(
+      new SocketTransport(fd, self, options));
+  // First frame of every connection: who we are, and which join this is
+  // (epoch > 1 announces a rejoin after a crash/restart).
+  Frame hello;
+  hello.type = FrameType::kHello;
+  hello.from = self;
+  hello.payload = EncodeHelloPayload(options.epoch);
+  {
+    std::unique_lock<std::mutex> lk(t->mu_);
+    hello.seq = t->next_seq_++;
+  }
+  Status s = t->Enqueue(EncodeFrame(hello));
+  if (!s.ok()) return s;
+  return t;
+}
+
+SocketTransport::SocketTransport(int fd, NodeId self, const Options& options)
+    : options_(options), node_(self), fd_(fd) {
+  sender_ = std::thread([this] { SenderLoop(); });
+}
+
+SocketTransport::~SocketTransport() {
+  (void)Flush();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  sender_.join();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SocketTransport::Send(NodeId from, NodeId to, size_t payload_bytes) {
+  // Accounting-only callers moved the state elsewhere; ship the claimed
+  // volume as zero bytes so the wire really carries it.
+  Frame f;
+  f.type = FrameType::kBlob;
+  f.from = from;
+  f.to = to;
+  f.payload.assign(payload_bytes, 0);
+  payload_messages_.fetch_add(1, std::memory_order_relaxed);
+  payload_bytes_.fetch_add(payload_bytes, std::memory_order_relaxed);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    f.seq = next_seq_++;
+  }
+  (void)Enqueue(EncodeFrame(f));
+}
+
+void SocketTransport::Send(NodeId from, NodeId to, const uint8_t* data,
+                           size_t size) {
+  Frame f;
+  f.type = FrameType::kBlob;
+  f.from = from;
+  f.to = to;
+  f.payload.assign(data, data + size);
+  payload_messages_.fetch_add(1, std::memory_order_relaxed);
+  payload_bytes_.fetch_add(size, std::memory_order_relaxed);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    f.seq = next_seq_++;
+  }
+  (void)Enqueue(EncodeFrame(f));
+}
+
+Status SocketTransport::SendPayload(FrameType type, NodeId to,
+                                    std::vector<uint8_t> payload) {
+  Frame f;
+  f.type = type;
+  f.from = node_;
+  f.to = to;
+  f.payload = std::move(payload);
+  payload_messages_.fetch_add(1, std::memory_order_relaxed);
+  payload_bytes_.fetch_add(f.payload.size(), std::memory_order_relaxed);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    f.seq = next_seq_++;
+  }
+  return Enqueue(EncodeFrame(f));
+}
+
+Status SocketTransport::Enqueue(std::vector<uint8_t> encoded) {
+  std::unique_lock<std::mutex> lk(mu_);
+  // Backpressure: block while the in-flight volume exceeds the bound.
+  space_cv_.wait(lk, [this] {
+    return queued_bytes_ <= options_.max_queue_bytes || stop_ ||
+           !error_.ok();
+  });
+  if (!error_.ok()) return error_;
+  if (stop_) return Status::IOError("transport stopped");
+  queued_bytes_ += encoded.size();
+  wire_bytes_.fetch_add(encoded.size(), std::memory_order_relaxed);
+  queue_.push_back(std::move(encoded));
+  queue_cv_.notify_one();
+  return Status::OK();
+}
+
+Status SocketTransport::Flush() {
+  std::unique_lock<std::mutex> lk(mu_);
+  space_cv_.wait(lk, [this] {
+    return (queue_.empty() && queued_bytes_ == 0) || !error_.ok();
+  });
+  return error_;
+}
+
+void SocketTransport::SenderLoop() {
+  std::vector<uint8_t> batch;
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    if (queue_.empty()) {
+      if (stop_) return;
+      if (options_.heartbeat_period_ms > 0) {
+        const bool woke = queue_cv_.wait_for(
+            lk, std::chrono::milliseconds(options_.heartbeat_period_ms),
+            [this] { return !queue_.empty() || stop_; });
+        if (!woke && error_.ok()) {
+          // Idle past the heartbeat period: emit a liveness beacon.
+          Frame hb;
+          hb.type = FrameType::kHeartbeat;
+          hb.from = node_;
+          hb.seq = next_seq_++;
+          std::vector<uint8_t> encoded = EncodeFrame(hb);
+          queued_bytes_ += encoded.size();
+          wire_bytes_.fetch_add(encoded.size(), std::memory_order_relaxed);
+          queue_.push_back(std::move(encoded));
+        }
+      } else {
+        queue_cv_.wait(lk, [this] { return !queue_.empty() || stop_; });
+      }
+      continue;
+    }
+    // Coalesce queued frames into one batched write.
+    batch.clear();
+    while (!queue_.empty() && batch.size() < options_.max_batch_bytes) {
+      batch.insert(batch.end(), queue_.front().begin(), queue_.front().end());
+      queue_.pop_front();
+    }
+    lk.unlock();
+    Status s = error_;
+    if (s.ok()) s = WriteAll(fd_, batch.data(), batch.size());
+    lk.lock();
+    queued_bytes_ -= std::min(queued_bytes_, batch.size());
+    if (!s.ok() && error_.ok()) {
+      error_ = s;
+      queue_.clear();
+      queued_bytes_ = 0;
+    }
+    space_cv_.notify_all();
+  }
+}
+
+NetworkStats SocketTransport::stats() const {
+  NetworkStats s;
+  s.messages = payload_messages_.load(std::memory_order_relaxed);
+  s.bytes = payload_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+uint64_t SocketTransport::wire_bytes() const {
+  return wire_bytes_.load(std::memory_order_relaxed);
+}
+
+Status SocketTransport::status() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return error_;
+}
+
+// ---------------------------------------------------------------------------
+// CoordinatorServer
+// ---------------------------------------------------------------------------
+
+struct CoordinatorServer::Connection {
+  int fd = -1;
+  NodeId node = kCoordinatorNode;  ///< unknown until kHello
+  std::thread reader;
+};
+
+struct CoordinatorServer::SiteState {
+  NodeId node = 0;
+  SiteHealth health = SiteHealth::kNeverSeen;
+  uint32_t epoch = 0;
+  uint32_t joins = 0;
+  uint64_t frames = 0;
+  uint64_t payload_bytes = 0;
+  bool done = false;
+  uint64_t last_seen_ms = 0;
+};
+
+Result<std::unique_ptr<CoordinatorServer>> CoordinatorServer::Start(
+    int port, const Options& options, FrameHandler handler) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket(): ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return Status::IOError(std::string("bind(): ") + std::strerror(errno));
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    return Status::IOError(std::string("listen(): ") + std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd);
+    return Status::IOError(std::string("getsockname(): ") +
+                           std::strerror(errno));
+  }
+  return std::unique_ptr<CoordinatorServer>(new CoordinatorServer(
+      fd, ntohs(bound.sin_port), options, std::move(handler)));
+}
+
+CoordinatorServer::CoordinatorServer(int listen_fd, int port,
+                                     const Options& options,
+                                     FrameHandler handler)
+    : options_(options),
+      handler_(std::move(handler)),
+      listen_fd_(listen_fd),
+      port_(port) {
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  sweeper_ = std::thread([this] { SweeperLoop(); });
+}
+
+CoordinatorServer::~CoordinatorServer() { Stop(); }
+
+void CoordinatorServer::AcceptLoop() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) {
+      if (fd >= 0) ::close(fd);
+      return;
+    }
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    conn->reader = std::thread([this, raw] { ReaderLoop(raw); });
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void CoordinatorServer::ReaderLoop(Connection* conn) {
+  FrameDecoder decoder;
+  std::vector<uint8_t> buf(64 * 1024);
+  bool clean_done = false;
+  while (true) {
+    ssize_t n = ::recv(conn->fd, buf.data(), buf.size(), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or connection error
+    decoder.Feed(buf.data(), static_cast<size_t>(n));
+    while (true) {
+      auto next = decoder.Next();
+      if (!next.ok()) {
+        // Malformed stream: drop the connection; the site shows as down
+        // until it reconnects with a fresh hello.
+        corrupt_streams_.fetch_add(1, std::memory_order_relaxed);
+        if (conn->node != kCoordinatorNode) MarkDown(conn->node);
+        ::shutdown(conn->fd, SHUT_RDWR);
+        return;
+      }
+      if (!next->has_value()) break;
+      Frame frame = std::move(**next);
+      const uint64_t now_ms = NowMs();
+      bool is_app_frame = false;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        SiteState* st = nullptr;
+        for (auto& s : sites_) {
+          if (s->node == frame.from) {
+            st = s.get();
+            break;
+          }
+        }
+        if (frame.type == FrameType::kHello) {
+          if (st == nullptr) {
+            sites_.push_back(std::make_unique<SiteState>());
+            st = sites_.back().get();
+            st->node = frame.from;
+          } else if (st->joins > 0) {
+            // A node we already knew said hello again: crash/rejoin (or
+            // reconnect after a dropped link). Its snapshots restart
+            // from the new epoch's catch-up resync.
+            rejoins_.fetch_add(1, std::memory_order_relaxed);
+          }
+          auto epoch = DecodeHelloPayload(frame.payload);
+          st->epoch = epoch.ok() ? *epoch : st->joins + 1;
+          ++st->joins;
+          st->health = SiteHealth::kUp;
+          st->done = false;
+          st->last_seen_ms = now_ms;
+          conn->node = frame.from;
+        } else {
+          is_app_frame = frame.type != FrameType::kHeartbeat;
+          // Any traffic proves the connection's announced node is alive,
+          // even when the frame's `from` names another node (a shared
+          // transport relaying a whole Coordinator's sites).
+          for (auto& s : sites_) {
+            if (s->node != conn->node) continue;
+            s->last_seen_ms = now_ms;
+            if (s->health == SiteHealth::kDown) s->health = SiteHealth::kUp;
+            break;
+          }
+          if (is_app_frame && st != nullptr) {
+            ++st->frames;
+            st->payload_bytes += frame.payload.size();
+            if (frame.type == FrameType::kDone) {
+              st->done = true;
+              clean_done = true;
+            }
+          }
+        }
+      }
+      if (is_app_frame) {
+        payload_messages_.fetch_add(1, std::memory_order_relaxed);
+        payload_bytes_.fetch_add(frame.payload.size(),
+                                 std::memory_order_relaxed);
+        if (handler_) handler_(frame);
+      }
+    }
+  }
+  // EOF after kDone is a clean exit; anything else is a crash.
+  if (conn->node != kCoordinatorNode && !clean_done) MarkDown(conn->node);
+}
+
+void CoordinatorServer::SweeperLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stopping_) {
+    const uint64_t now_ms = NowMs();
+    for (auto& s : sites_) {
+      if (s->health == SiteHealth::kUp && !s->done &&
+          now_ms - s->last_seen_ms > options_.heartbeat_timeout_ms) {
+        s->health = SiteHealth::kDown;
+        downs_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    stop_cv_.wait_for(lk,
+                      std::chrono::milliseconds(options_.sweep_period_ms),
+                      [this] { return stopping_; });
+  }
+}
+
+void CoordinatorServer::MarkDown(NodeId node) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& s : sites_) {
+    if (s->node == node && s->health == SiteHealth::kUp && !s->done) {
+      s->health = SiteHealth::kDown;
+      downs_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::vector<SiteStatus> CoordinatorServer::site_status() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<SiteStatus> out;
+  out.reserve(sites_.size());
+  for (const auto& s : sites_) {
+    SiteStatus st;
+    st.node = s->node;
+    st.health = s->health;
+    st.epoch = s->epoch;
+    st.joins = s->joins;
+    st.frames = s->frames;
+    st.payload_bytes = s->payload_bytes;
+    st.done = s->done;
+    out.push_back(st);
+  }
+  return out;
+}
+
+SiteStatus CoordinatorServer::site(NodeId node) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& s : sites_) {
+    if (s->node == node) {
+      SiteStatus st;
+      st.node = s->node;
+      st.health = s->health;
+      st.epoch = s->epoch;
+      st.joins = s->joins;
+      st.frames = s->frames;
+      st.payload_bytes = s->payload_bytes;
+      st.done = s->done;
+      return st;
+    }
+  }
+  SiteStatus st;
+  st.node = node;
+  return st;
+}
+
+NetworkStats CoordinatorServer::stats() const {
+  NetworkStats s;
+  s.messages = payload_messages_.load(std::memory_order_relaxed);
+  s.bytes = payload_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void CoordinatorServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  // Unblock accept(): shutdown makes the pending accept fail on Linux.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  acceptor_.join();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& c : connections_) ::shutdown(c->fd, SHUT_RDWR);
+  }
+  for (auto& c : connections_) {
+    if (c->reader.joinable()) c->reader.join();
+    ::close(c->fd);
+  }
+  sweeper_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+}  // namespace ecm

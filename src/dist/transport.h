@@ -5,11 +5,17 @@
 // currency — payload bytes as priced by dist/serialize.h wire encodings
 // (sketches) or fixed64 statistics vectors (geometric syncs).
 //
-// Transport is deliberately narrow: a payload is opaque and only its size
-// is observable, because the in-process runtime delivers state by
-// reference and the accounting is the experimentally meaningful effect
-// (Fig. 5/6, Table 4). A real deployment would subclass Transport with a
-// socket-backed implementation and ship SerializeSketch bytes verbatim.
+// Transport has two send forms that charge the same currency:
+//  * Send(from, to, payload_bytes) — accounting-only, for substrates that
+//    deliver state by reference inside one process and only need the wire
+//    cost charged (the experimentally meaningful effect for Fig. 5/6,
+//    Table 4);
+//  * Send(from, to, data, size)    — payload-carrying: implementations
+//    that really move bytes (dist/socket_transport.h) ship `data`
+//    verbatim, while the in-process LoopbackTransport just counts it.
+// Both forms charge exactly `size` payload bytes, so loopback and socket
+// runs of the same propagation script produce identical NetworkStats —
+// the one-accounting-currency invariant.
 
 #ifndef ECM_DIST_TRANSPORT_H_
 #define ECM_DIST_TRANSPORT_H_
@@ -39,6 +45,15 @@ class Transport {
   /// Ships one message of `payload_bytes` from `from` to `to`.
   virtual void Send(NodeId from, NodeId to, size_t payload_bytes) = 0;
 
+  /// Ships one message carrying `size` payload bytes. Implementations
+  /// that move real bytes deliver `data` verbatim; the default charges
+  /// the accounting-only form, so both forms always cost the same.
+  virtual void Send(NodeId from, NodeId to, const uint8_t* data,
+                    size_t size) {
+    (void)data;
+    Send(from, to, size);
+  }
+
   /// Cumulative transfer volume across every message ever sent.
   virtual NetworkStats stats() const = 0;
 };
@@ -49,6 +64,7 @@ class Transport {
 /// by all substrates of a run and by all ParallelIngest workers.
 class LoopbackTransport final : public Transport {
  public:
+  using Transport::Send;
   void Send(NodeId from, NodeId to, size_t payload_bytes) override;
   NetworkStats stats() const override;
 

@@ -28,7 +28,7 @@
 
 #include "src/core/dyadic.h"
 #include "src/core/ecm_sketch.h"
-#include "src/dist/runtime.h"
+#include "src/dist/site.h"
 #include "src/stream/event.h"
 
 namespace ecm {

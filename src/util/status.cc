@@ -18,6 +18,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Corruption";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kIOError:
+      return "IO error";
   }
   return "Unknown";
 }

@@ -24,6 +24,7 @@ enum class StatusCode : int {
   kOutOfRange = 4,      ///< query range exceeds the configured window
   kCorruption = 5,      ///< malformed serialized bytes
   kInternal = 6,
+  kIOError = 7,         ///< socket/file transfer failure
 };
 
 /// Returns a short human-readable name for a StatusCode ("OK",
@@ -62,6 +63,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
   }
 
   /// True iff the status is OK.
