@@ -12,7 +12,10 @@
 #include "src/core/count_min.h"
 #include "src/core/ecm_sketch.h"
 #include "src/core/equiwidth_cm.h"
+#include "src/util/hash.h"
 #include "src/util/random.h"
+#include "src/util/simd.h"
+#include "src/util/simd_kernels.h"
 
 namespace ecm {
 namespace {
@@ -197,6 +200,86 @@ void BM_EcmSelfJoin(benchmark::State& state) {
   benchmark::DoNotOptimize(sink);
 }
 BENCHMARK(BM_EcmSelfJoin)->Arg(1000)->Arg(kWindow);
+
+// --- SIMD hash kernel tiers ------------------------------------------------
+//
+// Arg(0..2) selects the SimdLevel (0 = scalar, 1 = sse2, 2 = avx2); tiers
+// the host CPU lacks are skipped. The label carries the tier name so JSON
+// rows stay readable. Each benchmark forces the tier for its timed
+// section only and restores auto dispatch afterwards.
+
+constexpr size_t kHashKeys = 4096;
+constexpr int kHashDepth = 3;
+constexpr uint32_t kHashWidth = 54;
+
+std::vector<uint64_t> HashBenchKeys() {
+  std::vector<uint64_t> keys(kHashKeys);
+  Rng rng(7);
+  for (auto& k : keys) k = rng.Next();
+  return keys;
+}
+
+bool SetupSimdTier(benchmark::State& state, SimdLevel* level) {
+  *level = static_cast<SimdLevel>(state.range(0));
+  if (!SimdLevelSupported(*level)) {
+    state.SkipWithError("tier unsupported on this CPU");
+    return false;
+  }
+  state.SetLabel(SimdLevelName(*level));
+  return true;
+}
+
+void BM_Mix64Batch(benchmark::State& state) {
+  SimdLevel level;
+  if (!SetupSimdTier(state, &level)) return;
+  const std::vector<uint64_t> keys = HashBenchKeys();
+  std::vector<uint64_t> out(kHashKeys);
+  const internal::HashKernels& kernels = internal::HashKernelsFor(level);
+  for (auto _ : state) {
+    kernels.mix64_batch(keys.data(), kHashKeys, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kHashKeys));
+}
+BENCHMARK(BM_Mix64Batch)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_BucketsRowMajor(benchmark::State& state) {
+  SimdLevel level;
+  if (!SetupSimdTier(state, &level)) return;
+  const std::vector<uint64_t> keys = HashBenchKeys();
+  HashFamily family(42, kHashDepth);
+  std::vector<uint64_t> mixed(kHashKeys);
+  HashFamily::Mix64Batch(keys.data(), kHashKeys, mixed.data());
+  std::vector<uint32_t> cols(kHashKeys * kHashDepth);
+  ForceSimdLevel(level);
+  for (auto _ : state) {
+    family.BucketsRowMajor(mixed.data(), kHashKeys, kHashWidth, cols.data());
+    benchmark::DoNotOptimize(cols.data());
+  }
+  ResetSimdLevel();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kHashKeys));
+}
+BENCHMARK(BM_BucketsRowMajor)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_BucketsMixed(benchmark::State& state) {
+  SimdLevel level;
+  if (!SetupSimdTier(state, &level)) return;
+  const std::vector<uint64_t> keys = HashBenchKeys();
+  HashFamily family(42, kHashDepth);
+  std::vector<uint32_t> out(kHashDepth);
+  ForceSimdLevel(level);
+  size_t i = 0;
+  for (auto _ : state) {
+    family.BucketsMixed(keys[i], kHashWidth, out.data());
+    benchmark::DoNotOptimize(out.data());
+    i = (i + 1) % kHashKeys;
+  }
+  ResetSimdLevel();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BucketsMixed)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_CountMinAdd(benchmark::State& state) {
   CountMinSketch cm = CountMinSketch::FromErrorBounds(0.05, 0.1, 1);

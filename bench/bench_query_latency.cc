@@ -25,6 +25,8 @@
 #include "bench/bench_common.h"
 #include "src/core/dyadic.h"
 #include "src/util/random.h"
+#include "src/util/simd.h"
+#include "src/util/simd_kernels.h"
 #include "src/util/timer.h"
 
 namespace ecm::bench {
@@ -114,7 +116,8 @@ double MeasurePointQueries(const EcmSketch<Counter>& sketch,
 template <SlidingWindowCounter Counter>
 double MeasurePointQueriesBatched(const EcmSketch<Counter>& sketch,
                                   const std::vector<StreamEvent>& events,
-                                  size_t queries) {
+                                  size_t queries,
+                                  const char* row_suffix = "") {
   constexpr size_t kBatch = 64;
   std::vector<Probe> probes =
       MakeProbes(sketch.Now(), queries / kBatch, ProbeMode::kMixed);
@@ -132,7 +135,7 @@ double MeasurePointQueriesBatched(const EcmSketch<Counter>& sketch,
   double rate = static_cast<double>(probes.size() * kBatch) /
                 timer.ElapsedSeconds();
   RecordBenchResult(std::string("query/point-batched/ECM-") +
-                        std::string(CounterName<Counter>()),
+                        std::string(CounterName<Counter>()) + row_suffix,
                     rate, 0.0);
   return rate;
 }
@@ -150,7 +153,9 @@ struct AblationPair {
 // are bit-identical to the arrival-order sweep. The win tracks the
 // per-estimate cost: partial ranges pay a straddling-level binary search
 // per counter, full-coverage probes are O(1) off the running total since
-// PR 4 — both regimes are recorded.
+// PR 4 — both regimes are recorded, each sweep in both explicit modes
+// plus the cost-model auto pick (PR 7), which must track the better of
+// the two in each regime.
 template <SlidingWindowCounter Counter>
 AblationPair MeasureBatchBucketSort(const EcmSketch<Counter>& sketch,
                                     size_t frontier, size_t sweeps,
@@ -160,30 +165,105 @@ AblationPair MeasureBatchBucketSort(const EcmSketch<Counter>& sketch,
   for (auto& k : keys) k = rng.Uniform(1 << 16);
   std::vector<double> out(frontier);
   const Timestamp now = sketch.Now();
+  auto measure = [&](BatchQueryMode mode) {
+    Timer timer;
+    for (size_t i = 0; i < sweeps; ++i) {
+      sketch.PointQueryBatchAt(keys.data(), frontier, range, now, out.data(),
+                               mode);
+      g_sink += out[i % frontier];
+    }
+    return static_cast<double>(sweeps * frontier) / timer.ElapsedSeconds();
+  };
   AblationPair res;
-  {
-    Timer timer;
-    for (size_t i = 0; i < sweeps; ++i) {
-      sketch.PointQueryBatchAt(keys.data(), frontier, range, now, out.data());
-      g_sink += out[i % frontier];
-    }
-    res.fast = static_cast<double>(sweeps * frontier) / timer.ElapsedSeconds();
-  }
-  {
-    Timer timer;
-    for (size_t i = 0; i < sweeps; ++i) {
-      sketch.PointQueryBatchScalarAt(keys.data(), frontier, range, now,
-                                     out.data());
-      g_sink += out[i % frontier];
-    }
-    res.legacy =
-        static_cast<double>(sweeps * frontier) / timer.ElapsedSeconds();
-  }
+  res.fast = measure(BatchQueryMode::kBucketSorted);
+  res.legacy = measure(BatchQueryMode::kScalarSweep);
+  double auto_rate = measure(BatchQueryMode::kAuto);
   std::string base = std::string("query/point-batch-sort/ECM-") +
                      std::string(CounterName<Counter>()) + "/" + regime;
   RecordBenchResult(base + "/bucketed", res.fast, 0.0);
   RecordBenchResult(base + "/scalar", res.legacy, 0.0);
+  RecordBenchResult(base + "/auto", auto_rate, 0.0);
   return res;
+}
+
+// --- SIMD hash kernels: per-tier rates -------------------------------------
+
+// The PR-7 hot kernels in isolation, one row per instruction-set tier
+// (skipping tiers the CPU lacks): the batched Mix64 pass, the
+// key-parallel row fill (the kernel under every batched point query),
+// and the row-parallel single-key walk (the kernel under Add /
+// PointQueryAt). Rates are keys (buckets) per second; the acceptance
+// floor is vector >= 1.5x scalar on this machine's recorded rows.
+void MeasureHashKernels(size_t iters) {
+  constexpr size_t kN = 4096;
+  constexpr int kDepth = 3;     // d for the (0.1, 0.1) bench configs
+  constexpr uint32_t kW = 54;   // matching width
+  HashFamily family(/*seed=*/7, kDepth);
+  Rng rng(21);
+  std::vector<uint64_t> keys(kN), mixed(kN);
+  for (auto& k : keys) k = rng.Next();
+  HashFamily::Mix64Batch(keys.data(), kN, mixed.data());
+  std::vector<uint32_t> cols(kN * kDepth);
+  const size_t reps = std::max<size_t>(iters / kN, 8);
+
+  PrintHeader(
+      "SIMD hash kernels (keys/second per tier; row-major fill is "
+      "per-key over all 3 rows)",
+      {"kernel", "tier", "rate", "vs scalar"});
+  constexpr SimdLevel kLevels[] = {SimdLevel::kScalar, SimdLevel::kSSE2,
+                                   SimdLevel::kAVX2};
+  double mix_scalar = 0.0, row_scalar = 0.0, one_scalar = 0.0;
+  for (SimdLevel level : kLevels) {
+    if (!SimdLevelSupported(level)) continue;
+    const char* tier = SimdLevelName(level);
+    const auto& kernels = internal::HashKernelsFor(level);
+    {
+      Timer timer;
+      for (size_t i = 0; i < reps; ++i) {
+        kernels.mix64_batch(keys.data(), kN, mixed.data());
+        g_sink += static_cast<double>(mixed[i % kN]);
+      }
+      double rate = static_cast<double>(reps * kN) / timer.ElapsedSeconds();
+      if (level == SimdLevel::kScalar) mix_scalar = rate;
+      RecordBenchResult(std::string("query/hash/mix64-batch/") + tier, rate,
+                        0.0);
+      PrintRow({"mix64-batch", tier, FormatDouble(rate, 0),
+                FormatDouble(mix_scalar > 0 ? rate / mix_scalar : 1.0, 2)});
+    }
+    {
+      ForceSimdLevel(level);
+      Timer timer;
+      for (size_t i = 0; i < reps; ++i) {
+        family.BucketsRowMajor(mixed.data(), kN, kW, cols.data());
+        g_sink += cols[i % (kN * kDepth)];
+      }
+      double rate = static_cast<double>(reps * kN) / timer.ElapsedSeconds();
+      ResetSimdLevel();
+      if (level == SimdLevel::kScalar) row_scalar = rate;
+      RecordBenchResult(std::string("query/hash/buckets-row-major/") + tier,
+                        rate, 0.0);
+      PrintRow({"buckets-row-major", tier, FormatDouble(rate, 0),
+                FormatDouble(row_scalar > 0 ? rate / row_scalar : 1.0, 2)});
+    }
+    {
+      ForceSimdLevel(level);
+      uint32_t out[kMaxSketchDepth];
+      Timer timer;
+      for (size_t i = 0; i < reps; ++i) {
+        for (size_t k = 0; k < kN; ++k) {
+          family.BucketsMixed(keys[k], kW, out);
+        }
+        g_sink += out[0];
+      }
+      double rate = static_cast<double>(reps * kN) / timer.ElapsedSeconds();
+      ResetSimdLevel();
+      if (level == SimdLevel::kScalar) one_scalar = rate;
+      RecordBenchResult(std::string("query/hash/buckets-mixed/") + tier, rate,
+                        0.0);
+      PrintRow({"buckets-mixed", tier, FormatDouble(rate, 0),
+                FormatDouble(one_scalar > 0 ? rate / one_scalar : 1.0, 2)});
+    }
+  }
 }
 
 // --- self-join / L1: batched vs legacy per-cell scans ----------------------
@@ -384,6 +464,18 @@ void Run() {
   double dw_pq = MeasurePointQueries(*dw, events, kQ);
   double dw_pqb = MeasurePointQueriesBatched(*dw, events, kQ);
   PrintRow({"ECM-DW", FormatDouble(dw_pq, 0), FormatDouble(dw_pqb, 0)});
+  // End-to-end SIMD dispatch ablation: the identical batched loop with
+  // the hash kernels pinned to the scalar tier (what ECM_SIMD=scalar or a
+  // non-x86 build runs); the auto row above carries the vector tiers.
+  if (ForceSimdLevel(SimdLevel::kScalar)) {
+    double eh_pqb_scalar =
+        MeasurePointQueriesBatched(*eh, events, kQ, "/forced-scalar");
+    ResetSimdLevel();
+    PrintRow({"ECM-EH (scalar kernels)", "-",
+              FormatDouble(eh_pqb_scalar, 0)});
+  }
+
+  MeasureHashKernels(kQ * 8);
 
   PrintHeader(
       "Large-frontier batched point queries, 4096 keys "

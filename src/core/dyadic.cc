@@ -6,26 +6,33 @@
 
 namespace ecm {
 
-std::vector<DyadicRange> DyadicDecompose(uint64_t lo, uint64_t hi,
-                                         int domain_bits) {
+size_t DyadicDecomposeInto(uint64_t lo, uint64_t hi, int domain_bits,
+                           std::vector<DyadicRange>* out) {
   assert(domain_bits >= 1 && domain_bits <= 63);
   uint64_t domain_max = (1ULL << domain_bits) - 1;
   if (hi > domain_max) hi = domain_max;
-  std::vector<DyadicRange> out;
-  if (lo > hi) return out;
+  if (lo > hi) return 0;
 
   // Greedy canonical decomposition: repeatedly take the largest aligned
   // dyadic block starting at lo that fits within [lo, hi]. Levels are
   // capped at domain_bits - 1 (the coarsest sketch level).
+  const size_t before = out->size();
   while (lo <= hi) {
     int level = (lo == 0) ? domain_bits - 1 : TrailingZeros(lo);
     if (level > domain_bits - 1) level = domain_bits - 1;
     while (level > 0 && lo + (1ULL << level) - 1 > hi) --level;
-    out.push_back(DyadicRange{level, lo >> level});
+    out->push_back(DyadicRange{level, lo >> level});
     uint64_t step = 1ULL << level;
     if (hi - lo < step) break;  // guards the lo += step overflow at hi=max
     lo += step;
   }
+  return out->size() - before;
+}
+
+std::vector<DyadicRange> DyadicDecompose(uint64_t lo, uint64_t hi,
+                                         int domain_bits) {
+  std::vector<DyadicRange> out;
+  DyadicDecomposeInto(lo, hi, domain_bits, &out);
   return out;
 }
 

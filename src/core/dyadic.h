@@ -35,6 +35,13 @@ struct DyadicRange {
 std::vector<DyadicRange> DyadicDecompose(uint64_t lo, uint64_t hi,
                                          int domain_bits);
 
+/// Appending variant of DyadicDecompose: pushes the decomposition onto
+/// `out` (which is not cleared) and returns the number of ranges
+/// appended. Lets hot callers — RangeQuery, the quantile binary search —
+/// reuse one scratch vector so steady-state queries allocate nothing.
+size_t DyadicDecomposeInto(uint64_t lo, uint64_t hi, int domain_bits,
+                           std::vector<DyadicRange>* out);
+
 /// A heavy-hitter report entry.
 struct HeavyHitter {
   uint64_t key;
@@ -87,7 +94,9 @@ class DyadicEcm {
   /// answers its prefixes in one batched pass (thread-local scratch; no
   /// per-call allocations beyond the decomposition itself).
   double RangeQuery(uint64_t lo, uint64_t hi, uint64_t range) const {
-    std::vector<DyadicRange> ranges = DyadicDecompose(lo, hi, domain_bits_);
+    static thread_local std::vector<DyadicRange> ranges;
+    ranges.clear();
+    DyadicDecomposeInto(lo, hi, domain_bits_, &ranges);
     std::sort(ranges.begin(), ranges.end(),
               [](const DyadicRange& a, const DyadicRange& b) {
                 return a.level < b.level;
@@ -138,8 +147,15 @@ class DyadicEcm {
         if (level == 0) {
           out.push_back(HeavyHitter{frontier[i], ests[i]});
         } else {
-          next.push_back(frontier[i] * 2);
-          next.push_back(frontier[i] * 2 + 1);
+          const uint64_t left = frontier[i] * 2;
+          next.push_back(left);
+          next.push_back(left + 1);
+          // Warm the children's counter cells in the next level's sketch
+          // while this level's filter is still running: by the time the
+          // next batched probe reads them, the row-stride misses are
+          // already in flight.
+          levels_[level - 1].PrefetchKey(left);
+          levels_[level - 1].PrefetchKey(left + 1);
         }
       }
       frontier.swap(next);

@@ -35,10 +35,23 @@
 #include "src/core/ecm_config.h"
 #include "src/util/hash.h"
 #include "src/util/result.h"
+#include "src/util/simd.h"
 #include "src/window/counter_traits.h"
 #include "src/window/merge.h"
 
 namespace ecm {
+
+/// Which sweep PointQueryBatchAt runs over each sketch row.
+enum class BatchQueryMode : uint8_t {
+  /// Cost-model pick: bucket-sorted once the frontier is large enough to
+  /// amortize the per-row counting sort, scalar sweep below that. With
+  /// the row-major column matrix the sorted walk wins in both coverage
+  /// regimes (sequential counter access plus shared-column dedup), so
+  /// the cutover is on frontier size alone.
+  kAuto = 0,
+  kScalarSweep = 1,   ///< keys in caller order, one Estimate per (key, row)
+  kBucketSorted = 2,  ///< counting-sorted column walk, collisions deduped
+};
 
 /// Builds the per-counter configuration appropriate for each counter type
 /// from the sketch-level EcmConfig.
@@ -163,9 +176,16 @@ class EcmSketch {
     last_ts_ = use_ts;
     l1_lifetime_ += count;
     ++version_;
-    // One-pass hashing: mix the key once, derive all d row buckets.
+    // One-pass hashing: mix the key once, derive all d row buckets
+    // (SIMD-dispatched), then prefetch every touched counter before the
+    // first Add — the d slots live one row-stride apart, so without the
+    // prefetch each row's update eats a serial cache miss.
     uint32_t cols[kMaxSketchDepth];
     hashes_.BucketsMixed(key, config_.width, cols);
+    for (int j = 0; j < config_.depth; ++j) {
+      PrefetchRead(&counters_[static_cast<size_t>(j) * config_.width +
+                              cols[j]]);
+    }
     for (int j = 0; j < config_.depth; ++j) {
       counters_[static_cast<size_t>(j) * config_.width + cols[j]].Add(use_ts,
                                                                       count);
@@ -183,6 +203,10 @@ class EcmSketch {
   double PointQueryAt(uint64_t key, uint64_t range, Timestamp now) const {
     uint32_t cols[kMaxSketchDepth];
     hashes_.BucketsMixed(key, config_.width, cols);
+    for (int j = 0; j < config_.depth; ++j) {
+      PrefetchRead(&counters_[static_cast<size_t>(j) * config_.width +
+                              cols[j]]);
+    }
     double best = std::numeric_limits<double>::infinity();
     for (int j = 0; j < config_.depth; ++j) {
       best = std::min(best, CounterAt(j, cols[j]).Estimate(now, range));
@@ -191,45 +215,66 @@ class EcmSketch {
   }
 
   /// Batched point queries: writes the estimate for each of keys[0..n)
-  /// to out[0..n), identical to n PointQueryAt calls. One Mix64 pass per
-  /// key fills all row buckets up front; the estimation pass then sweeps
-  /// the counter array row-major (each row's counters are contiguous),
-  /// taking per-key minima — the access pattern the dyadic heavy-hitter
-  /// frontier descent batches its sibling probes through. Large
-  /// frontiers additionally bucket-sort the keys inside each row so the
-  /// counter accesses walk the row in ascending column order (and
-  /// column-colliding keys share one Estimate); per-key results are
-  /// bit-identical either way, because each estimate is independent and
-  /// the per-key min is order-free.
+  /// to out[0..n), identical to n PointQueryAt calls. One SIMD Mix64
+  /// pass over all keys, then the key-parallel kernel fills a row-major
+  /// bucket matrix (cols[j*n + k]) so each row's sweep reads one
+  /// contiguous span; the estimation pass then sweeps the counter array
+  /// row-major — the access pattern the dyadic heavy-hitter frontier
+  /// descent batches its sibling probes through.
+  ///
+  /// `mode` picks the per-row sweep. kBucketSorted counting-sorts the
+  /// keys inside each row so counter accesses walk in ascending column
+  /// order (and column-colliding keys share one Estimate); kScalarSweep
+  /// visits keys in caller order with a look-ahead prefetch. kAuto
+  /// applies the cost model: sorted once the batch reaches
+  /// kBatchBucketSortThreshold keys — below that the counting sort's
+  /// fixed per-row cost outweighs its locality win. Per-key results are
+  /// bit-identical in every mode, because each estimate is independent
+  /// and the per-key min is order-free.
   void PointQueryBatchAt(const uint64_t* keys, size_t n, uint64_t range,
-                         Timestamp now, double* out) const {
-    if (n < kBatchBucketSortThreshold) {
-      PointQueryBatchScalarAt(keys, n, range, now, out);
+                         Timestamp now, double* out,
+                         BatchQueryMode mode = BatchQueryMode::kAuto) const {
+    if (n == 0) return;
+    const size_t depth = static_cast<size_t>(config_.depth);
+    static thread_local std::vector<uint64_t> mixed;
+    static thread_local std::vector<uint32_t> cols;  // row-major: [j*n + k]
+    mixed.resize(n);
+    cols.resize(n * depth);
+    HashFamily::Mix64Batch(keys, n, mixed.data());
+    hashes_.BucketsRowMajor(mixed.data(), n, config_.width, cols.data());
+    std::fill(out, out + n, std::numeric_limits<double>::infinity());
+    const bool bucketed =
+        mode == BatchQueryMode::kBucketSorted ||
+        (mode == BatchQueryMode::kAuto && n >= kBatchBucketSortThreshold);
+    if (!bucketed) {
+      constexpr size_t kLookAhead = 8;
+      for (size_t j = 0; j < depth; ++j) {
+        const Counter* row = &counters_[j * config_.width];
+        const uint32_t* row_cols = &cols[j * n];
+        for (size_t k = 0; k < n; ++k) {
+          if (k + kLookAhead < n) PrefetchRead(&row[row_cols[k + kLookAhead]]);
+          out[k] = std::min(out[k], row[row_cols[k]].Estimate(now, range));
+        }
+      }
       return;
     }
-    const size_t depth = static_cast<size_t>(config_.depth);
-    static thread_local std::vector<uint32_t> cols;
-    cols.resize(n * depth);
-    for (size_t k = 0; k < n; ++k) {
-      hashes_.BucketsMixed(keys[k], config_.width, &cols[k * depth]);
-    }
-    std::fill(out, out + n, std::numeric_limits<double>::infinity());
     static thread_local std::vector<uint32_t> starts;  // counting sort
     static thread_local std::vector<uint32_t> order;
     order.resize(n);
     for (size_t j = 0; j < depth; ++j) {
+      const uint32_t* row_cols = &cols[j * n];
       starts.assign(config_.width + 1, 0);
-      for (size_t k = 0; k < n; ++k) ++starts[cols[k * depth + j] + 1];
+      for (size_t k = 0; k < n; ++k) ++starts[row_cols[k] + 1];
       for (uint32_t c = 0; c < config_.width; ++c) starts[c + 1] += starts[c];
       for (size_t k = 0; k < n; ++k) {
-        order[starts[cols[k * depth + j]]++] = static_cast<uint32_t>(k);
+        order[starts[row_cols[k]]++] = static_cast<uint32_t>(k);
       }
       const Counter* row = &counters_[j * config_.width];
       uint32_t prev_col = std::numeric_limits<uint32_t>::max();
       double prev_est = 0.0;
       for (size_t i = 0; i < n; ++i) {
         const size_t k = order[i];
-        const uint32_t col = cols[k * depth + j];
+        const uint32_t col = row_cols[k];
         if (col != prev_col) {
           prev_col = col;
           prev_est = row[col].Estimate(now, range);
@@ -244,21 +289,7 @@ class EcmSketch {
   /// baseline for the bucket-sorted path above (bit-identical output).
   void PointQueryBatchScalarAt(const uint64_t* keys, size_t n, uint64_t range,
                                Timestamp now, double* out) const {
-    static thread_local std::vector<uint32_t> cols;
-    cols.resize(n * static_cast<size_t>(config_.depth));
-    for (size_t k = 0; k < n; ++k) {
-      hashes_.BucketsMixed(keys[k], config_.width,
-                           &cols[k * static_cast<size_t>(config_.depth)]);
-    }
-    std::fill(out, out + n, std::numeric_limits<double>::infinity());
-    for (int j = 0; j < config_.depth; ++j) {
-      const Counter* row = &counters_[static_cast<size_t>(j) * config_.width];
-      for (size_t k = 0; k < n; ++k) {
-        double est = row[cols[k * static_cast<size_t>(config_.depth) + j]]
-                         .Estimate(now, range);
-        out[k] = std::min(out[k], est);
-      }
-    }
+    PointQueryBatchAt(keys, n, range, now, out, BatchQueryMode::kScalarSweep);
   }
 
   /// Single-row contribution to a point query: the estimate of the one
@@ -282,8 +313,25 @@ class EcmSketch {
     uint32_t cols[kMaxSketchDepth];
     hashes_.BucketsMixed(key, config_.width, cols);
     for (int j = 0; j < config_.depth; ++j) {
+      PrefetchRead(&counters_[static_cast<size_t>(j) * config_.width +
+                              cols[j]]);
+    }
+    for (int j = 0; j < config_.depth; ++j) {
       out[j] = CounterAt(j, cols[j]).Estimate(now, range);
       if (cols_out) cols_out[j] = cols[j];
+    }
+  }
+
+  /// Issues read prefetches for every counter cell `key` touches. Callers
+  /// that know their next key ahead of time — the dyadic frontier descent
+  /// probing level l while level l+1's children are already enumerable —
+  /// use this to overlap the d row-stride cache misses with other work.
+  void PrefetchKey(uint64_t key) const {
+    uint32_t cols[kMaxSketchDepth];
+    hashes_.BucketsMixed(key, config_.width, cols);
+    for (int j = 0; j < config_.depth; ++j) {
+      PrefetchRead(&counters_[static_cast<size_t>(j) * config_.width +
+                              cols[j]]);
     }
   }
 

@@ -74,6 +74,7 @@ uint64_t NowMs() {
 
 std::vector<uint8_t> EncodeFrame(const Frame& frame) {
   ByteWriter w;
+  w.Reserve(kFrameHeaderBytes + frame.payload.size());
   w.PutRaw(kFrameMagic, sizeof(kFrameMagic));
   w.PutFixed<uint8_t>(static_cast<uint8_t>(frame.type));
   w.PutFixed<int32_t>(frame.from);

@@ -22,13 +22,14 @@ namespace ecm {
 /// Append-only binary encoder.
 class ByteWriter {
  public:
-  /// Appends a fixed-width little-endian integer.
+  /// Appends a fixed-width little-endian integer. (insert rather than
+  /// resize+memcpy: GCC 12's -Warray-bounds false-fires on the latter
+  /// when this inlines into a fixed-size header writer.)
   template <typename T>
   void PutFixed(T v) {
     static_assert(std::is_trivially_copyable_v<T>);
-    size_t off = buf_.size();
-    buf_.resize(off + sizeof(T));
-    std::memcpy(buf_.data() + off, &v, sizeof(T));
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
   }
 
   /// Appends an unsigned LEB128 varint.
@@ -49,6 +50,11 @@ class ByteWriter {
   void PutRaw(const uint8_t* data, size_t size) {
     buf_.insert(buf_.end(), data, data + size);
   }
+
+  /// Pre-sizes the underlying buffer (fixed-layout writers know their
+  /// exact frame size; reserving once also sidesteps GCC 12's bogus
+  /// -Wstringop-overflow on the inlined growth path).
+  void Reserve(size_t bytes) { buf_.reserve(bytes); }
 
   /// Appends a double in its IEEE-754 bit pattern.
   void PutDouble(double d) {

@@ -31,6 +31,37 @@ HashFamily::HashFamily(uint64_t seed, int d, HashReduction reduction)
     uint64_t sb = Mix64(seed ^ (0x5A5A5A5AULL + 2 * i + 1));
     funcs_.emplace_back(sa, sb);
   }
+  // Padded SoA mirror for the vector kernels; the (a=1, b=0) identity
+  // padding is never observable — tail lanes are dropped before stores.
+  const size_t padded =
+      (static_cast<size_t>(d) + kCoeffPad - 1) / kCoeffPad * kCoeffPad;
+  coeff_a_.assign(padded, 1);
+  coeff_b_.assign(padded, 0);
+  for (int i = 0; i < d; ++i) {
+    coeff_a_[i] = funcs_[i].a();
+    coeff_b_[i] = funcs_[i].b();
+  }
+}
+
+void HashFamily::BucketsRowMajor(const uint64_t* mixed, size_t n,
+                                 uint32_t width, uint32_t* out) const {
+  const size_t d = funcs_.size();
+  if (reduction_ == HashReduction::kFastRange) {
+    const auto& kernels = internal::ActiveHashKernels();
+    for (size_t row = 0; row < d; ++row) {
+      kernels.buckets_row(coeff_a_[row], coeff_b_[row], mixed, n, width,
+                          out + row * n);
+    }
+    return;
+  }
+  for (size_t row = 0; row < d; ++row) {
+    uint32_t* row_out = out + row * n;
+    for (size_t k = 0; k < n; ++k) {
+      row_out[k] =
+          PairwiseHash::Reduce(funcs_[row].RawMixed(mixed[k]), width,
+                               reduction_);
+    }
+  }
 }
 
 }  // namespace ecm

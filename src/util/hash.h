@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/util/simd_kernels.h"
+
 namespace ecm {
 
 /// 64-bit finalizer (SplitMix64 / Murmur3-style avalanche). Bijective.
@@ -117,16 +119,40 @@ class HashFamily {
   /// One-pass bucket computation: mixes `key` once and fills
   /// `out[0..depth)` with every row's bucket in [0, width). `out` must
   /// have room for depth() entries (kMaxSketchDepth always suffices).
+  /// kFastRange families go through the SIMD-dispatched row-parallel
+  /// kernel; kModulo keeps the scalar loop.
   void BucketsMixed(uint64_t key, uint32_t width, uint32_t* out) const {
-    uint64_t mixed = Mix64(key);
-    const HashReduction reduction = reduction_;
-    const PairwiseHash* funcs = funcs_.data();
+    BucketsForMixed(Mix64(key), width, out);
+  }
+
+  /// BucketsMixed for a key that is already Mix64-ed — the shape batched
+  /// callers use after one Mix64Batch pass over all keys.
+  void BucketsForMixed(uint64_t mixed, uint32_t width, uint32_t* out) const {
     const size_t d = funcs_.size();
+    if (reduction_ == HashReduction::kFastRange) {
+      internal::ActiveHashKernels().buckets_mixed(coeff_a_.data(),
+                                                  coeff_b_.data(), d, mixed,
+                                                  width, out);
+      return;
+    }
     for (size_t row = 0; row < d; ++row) {
-      out[row] = PairwiseHash::Reduce(funcs[row].RawMixed(mixed), width,
-                                      reduction);
+      out[row] = PairwiseHash::Reduce(funcs_[row].RawMixed(mixed), width,
+                                      reduction_);
     }
   }
+
+  /// out[k] = Mix64(keys[k]) for k in [0, n), SIMD-dispatched — the shared
+  /// mixing pass in front of BucketsForMixed / BucketsRowMajor.
+  static void Mix64Batch(const uint64_t* keys, size_t n, uint64_t* out) {
+    internal::ActiveHashKernels().mix64_batch(keys, n, out);
+  }
+
+  /// Key-parallel batch: fills the row-major matrix out[row * n + k] with
+  /// the bucket of pre-mixed key `mixed[k]` in row `row`. Row-major so
+  /// each row's sweep (and the key-parallel kernel filling it) streams one
+  /// contiguous span. `out` must hold depth() * n entries.
+  void BucketsRowMajor(const uint64_t* mixed, size_t n, uint32_t width,
+                       uint32_t* out) const;
 
   int depth() const { return static_cast<int>(funcs_.size()); }
   uint64_t seed() const { return seed_; }
@@ -139,10 +165,19 @@ class HashFamily {
            reduction_ == other.reduction_;
   }
 
+  /// The SoA coefficient arrays are padded to a multiple of this many
+  /// entries so the vector kernels may always load a full vector at any
+  /// in-range row (lanes past depth() are computed and discarded).
+  static constexpr size_t kCoeffPad = 8;
+
  private:
   uint64_t seed_ = 0;
   HashReduction reduction_ = HashReduction::kFastRange;
   std::vector<PairwiseHash> funcs_;
+  // funcs_[i].a()/b() duplicated as padded structure-of-arrays so the
+  // row-parallel kernel loads coefficients contiguously.
+  std::vector<uint64_t> coeff_a_;
+  std::vector<uint64_t> coeff_b_;
 };
 
 }  // namespace ecm

@@ -23,21 +23,22 @@ ExponentialHistogram::ExponentialHistogram(const Config& config)
   level_capacity_ = static_cast<size_t>(k) + 2;
 }
 
-void ExponentialHistogram::Grow(Level* l) {
+void ExponentialHistogram::Grow(size_t level) {
   // Geometric segment growth, capped at the ring bound. The cascade never
   // holds more than level_capacity_ buckets in a level, so a full segment
   // at the cap is unreachable here.
-  size_t new_cap = std::min(std::max<size_t>(2 * l->slots.size(), 8),
-                            level_capacity_ + 1);
+  std::vector<Bucket>& slots = level_slots_[level];
+  size_t new_cap =
+      std::min(std::max<size_t>(2 * slots.size(), 8), level_capacity_ + 1);
   std::vector<Bucket> grown(new_cap);
-  uint32_t old_cap = static_cast<uint32_t>(l->slots.size());
-  for (uint32_t j = 0; j < l->count; ++j) {
-    uint32_t idx = l->head + j;
+  uint32_t old_cap = static_cast<uint32_t>(slots.size());
+  for (uint32_t j = 0; j < level_count_[level]; ++j) {
+    uint32_t idx = level_head_[level] + j;
     if (idx >= old_cap) idx -= old_cap;
-    grown[j] = l->slots[idx];
+    grown[j] = slots[idx];
   }
-  l->slots = std::move(grown);
-  l->head = 0;
+  slots = std::move(grown);
+  level_head_[level] = 0;
 }
 
 void ExponentialHistogram::AddOne(Timestamp ts) {
@@ -48,7 +49,7 @@ void ExponentialHistogram::AddOne(Timestamp ts) {
   // into one bucket of double size, which is the *newest* bucket of the
   // next level (bucket sizes are non-decreasing with age).
   for (size_t i = 0;
-       i < levels_.size() && levels_[i].count >= level_capacity_; ++i) {
+       i < NumLevels() && level_count_[i] >= level_capacity_; ++i) {
     PopFront(i);  // merged bucket keeps the newer end timestamp
     Bucket second = PopFront(i);
     EnsureLevel(i + 1);
@@ -75,7 +76,7 @@ void ExponentialHistogram::AddBatch(Timestamp ts, uint64_t count) {
   for (size_t i = 0; ts_run + expl.size() > 0; ++i) {
     EnsureLevel(i);
     const uint64_t c = level_capacity_;
-    const uint64_t m = levels_[i].count;
+    const uint64_t m = level_count_[i];
     const uint64_t k = expl.size() + ts_run;
     // Merges the unit cascade performs here: the first fires once the
     // level fills to c, then one more per two further appends.
@@ -141,9 +142,9 @@ void ExponentialHistogram::Add(Timestamp ts, uint64_t count) {
 void ExponentialHistogram::Expire(Timestamp now) {
   Timestamp wstart = WindowStart(now, window_len_);
   // Oldest buckets live at the highest levels; within a level, at front.
-  for (size_t i = levels_.size(); i-- > 0;) {
+  for (size_t i = NumLevels(); i-- > 0;) {
     bool dropped_here = false;
-    while (levels_[i].count > 0 && At(i, 0).end <= wstart) {
+    while (level_count_[i] > 0 && At(i, 0).end <= wstart) {
       Bucket b = PopFront(i);
       if (b.end > expired_end_) expired_end_ = b.end;
       total_ -= (1ULL << i);
@@ -152,7 +153,7 @@ void ExponentialHistogram::Expire(Timestamp now) {
     }
     // If nothing expired at this level, nothing can expire below it either:
     // lower-level buckets are strictly newer.
-    if (!dropped_here && levels_[i].count > 0) break;
+    if (!dropped_here && level_count_[i] > 0) break;
   }
 }
 
@@ -189,7 +190,7 @@ double ExponentialHistogram::Estimate(Timestamp now, uint64_t range) const {
   uint64_t weight = 0;
   double straddle = 0.0;
   for (size_t i = top_level_ + 1; i-- > 0;) {
-    const uint32_t n = levels_[i].count;
+    const uint32_t n = level_count_[i];
     if (n == 0 || At(i, n - 1).end <= boundary) continue;
     // First ring position whose bucket end exceeds the boundary.
     uint32_t lo = 0, hi = n;
@@ -211,9 +212,9 @@ double ExponentialHistogram::Estimate(Timestamp now, uint64_t range) const {
     if (lo > 0) {
       prev_end = At(i, lo - 1).end;
     } else {
-      for (size_t j = i + 1; j < levels_.size(); ++j) {
-        if (levels_[j].count > 0) {
-          prev_end = At(j, levels_[j].count - 1).end;
+      for (size_t j = i + 1; j < NumLevels(); ++j) {
+        if (level_count_[j] > 0) {
+          prev_end = At(j, level_count_[j] - 1).end;
           break;
         }
       }
@@ -223,7 +224,7 @@ double ExponentialHistogram::Estimate(Timestamp now, uint64_t range) const {
     if (!fully_inside) straddle = static_cast<double>(1ULL << i) / 2.0;
     // All remaining (newer) levels are entirely in range.
     while (i-- > 0) {
-      weight += static_cast<uint64_t>(levels_[i].count) << i;
+      weight += static_cast<uint64_t>(level_count_[i]) << i;
     }
     break;
   }
@@ -240,8 +241,8 @@ double ExponentialHistogram::EstimateScanReference(Timestamp now,
   // partial sums accumulated in doubles top-down.
   double sum = 0.0;
   bool first_included = true;
-  for (size_t i = levels_.size(); i-- > 0;) {
-    const uint32_t n = levels_[i].count;
+  for (size_t i = NumLevels(); i-- > 0;) {
+    const uint32_t n = level_count_[i];
     if (n == 0 || At(i, n - 1).end <= boundary) continue;
     uint32_t lo = 0, hi = n;
     while (lo < hi) {
@@ -259,9 +260,9 @@ double ExponentialHistogram::EstimateScanReference(Timestamp now,
       if (lo > 0) {
         prev_end = At(i, lo - 1).end;
       } else {
-        for (size_t j = i + 1; j < levels_.size(); ++j) {
-          if (levels_[j].count > 0) {
-            prev_end = At(j, levels_[j].count - 1).end;
+        for (size_t j = i + 1; j < NumLevels(); ++j) {
+          if (level_count_[j] > 0) {
+            prev_end = At(j, level_count_[j] - 1).end;
             break;
           }
         }
@@ -277,14 +278,16 @@ double ExponentialHistogram::EstimateScanReference(Timestamp now,
 
 size_t ExponentialHistogram::AllocatedSlots() const {
   size_t slots = 0;
-  for (const Level& l : levels_) slots += l.slots.size();
+  for (const std::vector<Bucket>& s : level_slots_) slots += s.size();
   return slots;
 }
 
 size_t ExponentialHistogram::MemoryBytes() const {
   size_t bytes = sizeof(*this);
   bytes += AllocatedSlots() * sizeof(Bucket);
-  bytes += levels_.capacity() * sizeof(Level);
+  bytes += level_head_.capacity() * sizeof(uint32_t);
+  bytes += level_count_.capacity() * sizeof(uint32_t);
+  bytes += level_slots_.capacity() * sizeof(std::vector<Bucket>);
   return bytes;
 }
 
@@ -292,9 +295,9 @@ std::vector<BucketView> ExponentialHistogram::Buckets() const {
   std::vector<BucketView> out;
   out.reserve(num_buckets_);
   Timestamp prev_end = expired_end_;
-  for (size_t i = levels_.size(); i-- > 0;) {
+  for (size_t i = NumLevels(); i-- > 0;) {
     uint64_t size = 1ULL << i;
-    for (uint32_t j = 0; j < levels_[i].count; ++j) {
+    for (uint32_t j = 0; j < level_count_[i]; ++j) {
       out.push_back(BucketView{prev_end, At(i, j).end, size});
       prev_end = At(i, j).end;
     }
@@ -308,8 +311,8 @@ int ExponentialHistogram::CheckInvariant() const {
   // at most 1/2 absolute error, which the error analysis absorbs).
   std::vector<uint64_t> sizes;
   sizes.reserve(num_buckets_);
-  for (size_t i = levels_.size(); i-- > 0;) {
-    for (uint32_t j = 0; j < levels_[i].count; ++j) {
+  for (size_t i = NumLevels(); i-- > 0;) {
+    for (uint32_t j = 0; j < level_count_[i]; ++j) {
       sizes.push_back(1ULL << i);
     }
   }
@@ -337,11 +340,11 @@ void ExponentialHistogram::SerializeTo(ByteWriter* w) const {
   w->PutVarint(expired_end_);
   w->PutVarint(lifetime_);
   w->PutVarint(last_ts_);
-  w->PutVarint(levels_.size());
-  for (size_t i = 0; i < levels_.size(); ++i) {
-    w->PutVarint(levels_[i].count);
+  w->PutVarint(NumLevels());
+  for (size_t i = 0; i < NumLevels(); ++i) {
+    w->PutVarint(level_count_[i]);
     Timestamp prev = 0;
-    for (uint32_t j = 0; j < levels_[i].count; ++j) {
+    for (uint32_t j = 0; j < level_count_[i]; ++j) {
       w->PutVarint(At(i, j).end - prev);  // front-to-back end stamps ascend
       prev = At(i, j).end;
     }

@@ -148,52 +148,59 @@ class ExponentialHistogram {
   struct Bucket {
     Timestamp end;  // timestamp of the newest 1-bit in the bucket
   };
-  // One level's ring-buffer segment. `slots` is the segment storage; its
-  // size is the current ring capacity, grown geometrically (by Grow) up to
-  // level_capacity_ as the level actually fills.
-  struct Level {
-    uint32_t head = 0;   // slot index of the oldest bucket
-    uint32_t count = 0;  // buckets held (< level_capacity_ between Adds)
-    std::vector<Bucket> slots;
-  };
+
+  // --- level directory (structure-of-arrays) ----------------------------
+  // The directory is three parallel arrays indexed by level: ring head,
+  // bucket count, and the ring segment storage. head/count live in dense
+  // uint32 arrays (not per-level structs) because the query path walks
+  // the whole directory — the straddling-level search and the
+  // `count << i` weight accumulation in Estimate stream one contiguous
+  // 4-byte-stride span instead of hopping 40-byte Level records. Segment
+  // sizes grow geometrically (Grow) up to level_capacity_ as levels fill.
+  size_t NumLevels() const { return level_count_.size(); }
 
   // --- ring-buffer primitives -------------------------------------------
   const Bucket& At(size_t level, uint32_t pos) const {
-    const Level& l = levels_[level];
-    uint32_t cap = static_cast<uint32_t>(l.slots.size());
-    uint32_t idx = l.head + pos;
+    const std::vector<Bucket>& slots = level_slots_[level];
+    uint32_t cap = static_cast<uint32_t>(slots.size());
+    uint32_t idx = level_head_[level] + pos;
     if (idx >= cap) idx -= cap;
-    return l.slots[idx];
+    return slots[idx];
   }
   // Re-linearizes the ring into a segment of at least `count + 1` slots,
   // doubling up to the level_capacity_ bound.
-  void Grow(Level* l);
+  void Grow(size_t level);
   void PushBack(size_t level, Bucket b) {
-    Level& l = levels_[level];
-    if (l.count == l.slots.size()) Grow(&l);
-    uint32_t cap = static_cast<uint32_t>(l.slots.size());
-    uint32_t idx = l.head + l.count;
+    if (level_count_[level] == level_slots_[level].size()) Grow(level);
+    uint32_t cap = static_cast<uint32_t>(level_slots_[level].size());
+    uint32_t idx = level_head_[level] + level_count_[level];
     if (idx >= cap) idx -= cap;
-    l.slots[idx] = b;
-    ++l.count;
-    if (level > top_level_ || levels_[top_level_].count == 0) {
+    level_slots_[level][idx] = b;
+    ++level_count_[level];
+    if (level > top_level_ || level_count_[top_level_] == 0) {
       top_level_ = level;
     }
   }
   Bucket PopFront(size_t level) {
-    Level& l = levels_[level];
-    Bucket b = l.slots[l.head];
-    l.head = (l.head + 1 == l.slots.size()) ? 0 : l.head + 1;
-    --l.count;
-    if (l.count == 0 && level == top_level_) {
-      while (top_level_ > 0 && levels_[top_level_].count == 0) --top_level_;
+    Bucket b = level_slots_[level][level_head_[level]];
+    level_head_[level] =
+        (level_head_[level] + 1 == level_slots_[level].size())
+            ? 0
+            : level_head_[level] + 1;
+    --level_count_[level];
+    if (level_count_[level] == 0 && level == top_level_) {
+      while (top_level_ > 0 && level_count_[top_level_] == 0) --top_level_;
     }
     return b;
   }
   // Grows the level directory so that `level` exists (no slot storage is
   // allocated until the level receives its first bucket).
   void EnsureLevel(size_t level) {
-    if (levels_.size() <= level) levels_.resize(level + 1);
+    if (NumLevels() <= level) {
+      level_head_.resize(level + 1, 0);
+      level_count_.resize(level + 1, 0);
+      level_slots_.resize(level + 1);
+    }
   }
 
   // Inserts a single 1-bit at `ts` and cascades merges (unit fast path).
@@ -207,7 +214,9 @@ class ExponentialHistogram {
   // ceil(1/eps)/2 + 2 (Datar et al. invariant with k = ceil(1/eps)).
   size_t level_capacity_;
 
-  std::vector<Level> levels_;
+  std::vector<uint32_t> level_head_;
+  std::vector<uint32_t> level_count_;
+  std::vector<std::vector<Bucket>> level_slots_;
   // Index of the highest non-empty level (the global oldest bucket is its
   // ring front); 0 when no buckets are held. Lets full-coverage queries
   // read the oldest bucket in O(1).

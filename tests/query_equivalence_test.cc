@@ -251,29 +251,38 @@ TEST(QueryEquivalenceTest, PointQueryBatchMatchesPerKeyQueries) {
 }
 
 TEST(QueryEquivalenceTest, PointQueryBatchBucketSortMatchesScalarSweep) {
-  // Large frontiers take the per-row counting-sort path; its output must
-  // be bit-identical to the arrival-order scalar sweep (kept as the
+  // Every explicit sweep mode — and the cost-model auto pick — must be
+  // bit-identical to the arrival-order scalar sweep (kept as the
   // ablation reference), duplicates included.
   Timestamp now = 0;
   EcmEh sketch = MakeLoadedSketch(61, &now);
   Rng rng(77);
   std::vector<uint64_t> keys;
   for (int i = 0; i < 5'000; ++i) keys.push_back(rng.Uniform(700));
-  std::vector<double> bucketed(keys.size()), scalar(keys.size());
+  std::vector<double> got(keys.size()), scalar(keys.size());
   const uint64_t ranges[] = {64, kWindow / 3, kWindow};
+  const BatchQueryMode modes[] = {BatchQueryMode::kAuto,
+                                  BatchQueryMode::kScalarSweep,
+                                  BatchQueryMode::kBucketSorted};
   for (uint64_t range : ranges) {
-    sketch.PointQueryBatchAt(keys.data(), keys.size(), range, now,
-                             bucketed.data());
     sketch.PointQueryBatchScalarAt(keys.data(), keys.size(), range, now,
                                    scalar.data());
-    for (size_t i = 0; i < keys.size(); ++i) {
-      ASSERT_EQ(bucketed[i], scalar[i]) << "key " << keys[i];
+    for (BatchQueryMode mode : modes) {
+      sketch.PointQueryBatchAt(keys.data(), keys.size(), range, now,
+                               got.data(), mode);
+      for (size_t i = 0; i < keys.size(); ++i) {
+        ASSERT_EQ(got[i], scalar[i])
+            << "key " << keys[i] << " range " << range << " mode "
+            << static_cast<int>(mode);
+      }
     }
   }
-  // Tiny frontiers (below the sort threshold) agree too, trivially.
-  sketch.PointQueryBatchAt(keys.data(), 5, kWindow, now, bucketed.data());
+  // Tiny frontiers (below the auto sort threshold) agree in every mode.
   sketch.PointQueryBatchScalarAt(keys.data(), 5, kWindow, now, scalar.data());
-  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(bucketed[i], scalar[i]);
+  for (BatchQueryMode mode : modes) {
+    sketch.PointQueryBatchAt(keys.data(), 5, kWindow, now, got.data(), mode);
+    for (size_t i = 0; i < 5; ++i) EXPECT_EQ(got[i], scalar[i]);
+  }
 }
 
 TEST(QueryEquivalenceTest, EstimateL1LruCoversInterleavedRanges) {
