@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "src/core/ecm_sketch.h"
+#include "src/dist/compress.h"
 #include "src/dist/runtime.h"
 #include "src/dist/serialize.h"
 #include "src/dist/socket_transport.h"
@@ -66,6 +67,7 @@ struct Flags {
   int node = -1;   // site role: which shard
   int port = 0;    // site role: coordinator port
   uint32_t epoch = 1;
+  bool compress = false;  // ship delta/RLZ frames instead of full snapshots
 };
 
 Flags ParseFlags(int argc, char** argv) {
@@ -99,6 +101,8 @@ Flags ParseFlags(int argc, char** argv) {
       f.port = std::atoi(next());
     } else if (a == "--epoch") {
       f.epoch = static_cast<uint32_t>(std::atoi(next()));
+    } else if (a == "--compress") {
+      f.compress = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", a.c_str());
       std::exit(2);
@@ -159,14 +163,35 @@ int SiteMain(const Flags& f) {
   }
 
   Site<ExponentialHistogram> site(f.node, cfg);
+  // Compressed mode: one sender per (site, coordinator) channel, keyed on
+  // the transport's rejoin epoch — after a reconnect the sender re-bases
+  // with a full snapshot under the new epoch, so a delta encoded against
+  // pre-crash state can never reach the coordinator's receiver.
+  CompressionOptions copts;
+  copts.mode = CompressionMode::kAuto;
+  copts.epoch = f.epoch;
+  SketchSender<ExponentialHistogram> sender(copts);
+  auto push_snapshot = [&]() -> Status {
+    if (!f.compress) {
+      return (*transport)
+          ->SendPayload(FrameType::kSketch, kCoordinatorNode,
+                        SerializeSketch(site.sketch()));
+    }
+    SketchWireImage img = sender.Ship(site.sketch());
+    const FrameType type = img.kind == SketchWireKind::kFull
+                               ? FrameType::kSketch
+                               : img.kind == SketchWireKind::kDelta
+                                     ? FrameType::kSketchDelta
+                                     : FrameType::kSketchRlz;
+    return (*transport)
+        ->SendPayload(type, kCoordinatorNode, std::move(img.bytes));
+  };
   uint64_t since_sync = 0;
   for (const StreamEvent& e : shard) {
     site.Ingest(e.key, e.ts);
     if (++since_sync >= f.sync_every) {
       since_sync = 0;
-      Status s = (*transport)
-                     ->SendPayload(FrameType::kSketch, kCoordinatorNode,
-                                   SerializeSketch(site.sketch()));
+      Status s = push_snapshot();
       if (!s.ok()) {
         // Link lost: reconnect with the next epoch and ship a full
         // snapshot immediately — the catch-up resync path.
@@ -174,9 +199,8 @@ int SiteMain(const Flags& f) {
         auto again = connect();
         if (!again.ok()) return 1;
         transport = std::move(again);
-        (void)(*transport)
-            ->SendPayload(FrameType::kSketch, kCoordinatorNode,
-                          SerializeSketch(site.sketch()));
+        sender.set_epoch(topt.epoch);  // re-base: next image is full
+        (void)push_snapshot();
       }
       // Pace the replay so a fault injection lands mid-run instead of
       // after an instantaneous replay (real sites stream, not burst).
@@ -186,6 +210,10 @@ int SiteMain(const Flags& f) {
       }
     }
   }
+  // Compressed runs ship the final state through the channel too, so the
+  // coordinator can check the delta chain decodes bit-identically to the
+  // kDone full snapshot.
+  if (f.compress && !push_snapshot().ok()) return 1;
   Status s = (*transport)
                  ->SendPayload(FrameType::kDone, kCoordinatorNode,
                                SerializeSketch(site.sketch()));
@@ -211,29 +239,30 @@ pid_t SpawnSite(const char* exe, const Flags& f, int node, int port,
   std::string node_s = std::to_string(node);
   std::string port_s = std::to_string(port);
   std::string epoch_s = std::to_string(epoch);
-  const char* argv[] = {exe,
-                        "--role",
-                        "site",
-                        "--sites",
-                        sites.c_str(),
-                        "--events",
-                        events.c_str(),
-                        "--window",
-                        window.c_str(),
-                        "--sync-every",
-                        sync_every.c_str(),
-                        "--push-pause-ms",
-                        pause.c_str(),
-                        "--seed",
-                        seed.c_str(),
-                        "--node",
-                        node_s.c_str(),
-                        "--port",
-                        port_s.c_str(),
-                        "--epoch",
-                        epoch_s.c_str(),
-                        nullptr};
-  ::execv(exe, const_cast<char**>(argv));
+  std::vector<const char*> argv = {exe,
+                                   "--role",
+                                   "site",
+                                   "--sites",
+                                   sites.c_str(),
+                                   "--events",
+                                   events.c_str(),
+                                   "--window",
+                                   window.c_str(),
+                                   "--sync-every",
+                                   sync_every.c_str(),
+                                   "--push-pause-ms",
+                                   pause.c_str(),
+                                   "--seed",
+                                   seed.c_str(),
+                                   "--node",
+                                   node_s.c_str(),
+                                   "--port",
+                                   port_s.c_str(),
+                                   "--epoch",
+                                   epoch_s.c_str()};
+  if (f.compress) argv.push_back("--compress");
+  argv.push_back(nullptr);
+  ::execv(exe, const_cast<char**>(argv.data()));
   std::perror("execv");
   ::_exit(127);
 }
@@ -256,16 +285,77 @@ int CoordinatorMain(const Flags& f, const char* exe) {
   }
 
   // Coordinator server: store the latest snapshot per site; kDone marks
-  // the final one.
+  // the final one. Compressed runs additionally decode every frame
+  // through a per-site SketchReceiver keyed on the connection's rejoin
+  // epoch (an epoch bump drops the delta base, forcing full resync).
   std::mutex mu;
   std::map<NodeId, std::vector<uint8_t>> final_snapshots;
   std::map<NodeId, uint64_t> snapshots_seen;
+  std::map<NodeId, SketchReceiver<ExponentialHistogram>> receivers;
+  uint64_t delta_frames = 0, rlz_frames = 0, full_frames = 0;
+  uint64_t stale_rejects = 0, decode_failures = 0, chain_mismatches = 0;
+  CoordinatorServer* srv = nullptr;  // set right after Start
+  CompressionOptions copts;
+  copts.mode = CompressionMode::kAuto;
   CoordinatorServer::Options copt;
   copt.heartbeat_timeout_ms = 1'000;
   auto server = CoordinatorServer::Start(
       0, copt, [&](const Frame& frame) {
         std::lock_guard<std::mutex> lk(mu);
         if (frame.type == FrameType::kSketch) ++snapshots_seen[frame.from];
+        if (f.compress) {
+          SketchWireKind kind;
+          switch (frame.type) {
+            case FrameType::kSketch:
+              kind = SketchWireKind::kFull;
+              ++full_frames;
+              break;
+            case FrameType::kSketchDelta:
+              kind = SketchWireKind::kDelta;
+              ++delta_frames;
+              ++snapshots_seen[frame.from];
+              break;
+            case FrameType::kSketchRlz:
+              kind = SketchWireKind::kRlz;
+              ++rlz_frames;
+              ++snapshots_seen[frame.from];
+              break;
+            default:
+              kind = SketchWireKind::kFull;
+              break;
+          }
+          if (frame.type == FrameType::kSketch ||
+              frame.type == FrameType::kSketchDelta ||
+              frame.type == FrameType::kSketchRlz) {
+            auto [it, inserted] = receivers.try_emplace(frame.from, copts);
+            SketchReceiver<ExponentialHistogram>& rx = it->second;
+            const uint32_t epoch = srv->site(frame.from).epoch;
+            if (epoch != rx.epoch()) rx.set_epoch(epoch);
+            auto got = rx.Receive(kind, frame.payload.data(),
+                                  frame.payload.size());
+            if (!got.ok()) {
+              if (got.status().code() == StatusCode::kStaleBase) {
+                ++stale_rejects;
+              } else {
+                ++decode_failures;
+                std::fprintf(stderr, "site %u frame decode: %s\n",
+                             frame.from, got.status().ToString().c_str());
+              }
+            }
+          }
+          if (frame.type == FrameType::kDone) {
+            // The delta chain must have reconstructed exactly the state
+            // the site snapshots into kDone.
+            auto it = receivers.find(frame.from);
+            if (it == receivers.end() || it->second.sketch() == nullptr ||
+                SerializeSketch(*it->second.sketch()) != frame.payload) {
+              ++chain_mismatches;
+              std::fprintf(stderr,
+                           "FAIL: site %u delta chain != final snapshot\n",
+                           frame.from);
+            }
+          }
+        }
         if (frame.type == FrameType::kDone) {
           final_snapshots[frame.from] = frame.payload;
         }
@@ -274,6 +364,7 @@ int CoordinatorMain(const Flags& f, const char* exe) {
     std::fprintf(stderr, "server: %s\n", server.status().ToString().c_str());
     return 1;
   }
+  srv = server->get();
   const int port = (*server)->port();
   std::printf("coordinator listening on 127.0.0.1:%d, spawning %d site "
               "processes (%" PRIu64 " events, sync every %" PRIu64 ")\n",
@@ -390,6 +481,31 @@ int CoordinatorMain(const Flags& f, const char* exe) {
               worst);
 
   bool ok = mismatches == 0;
+  if (f.compress) {
+    std::lock_guard<std::mutex> lk(mu);
+    std::printf("compression: %llu full, %llu delta, %llu rlz frames; "
+                "%llu stale-base rejects\n",
+                (unsigned long long)full_frames,
+                (unsigned long long)delta_frames,
+                (unsigned long long)rlz_frames,
+                (unsigned long long)stale_rejects);
+    if (delta_frames + rlz_frames == 0) {
+      std::fprintf(stderr, "FAIL: --compress run shipped no compressed "
+                           "frames\n");
+      ok = false;
+    }
+    if (decode_failures > 0) {
+      std::fprintf(stderr, "FAIL: %llu compressed frames failed to decode\n",
+                   (unsigned long long)decode_failures);
+      ok = false;
+    }
+    if (chain_mismatches > 0) {
+      std::fprintf(stderr, "FAIL: %llu sites whose delta chain diverged "
+                           "from the final snapshot\n",
+                   (unsigned long long)chain_mismatches);
+      ok = false;
+    }
+  }
   if (f.kill_site >= 0) {
     const SiteStatus st = (*server)->site(f.kill_site);
     if ((*server)->downs() < 1 || (*server)->rejoins() < 1 ||

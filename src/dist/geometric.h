@@ -34,11 +34,14 @@
 //    (located via the sketch's PointQueryRowsAt hook) and maintains
 //    ‖δ_i‖² and the per-row ball-center norms by difference. The sphere
 //    test is then O(d) per check instead of the O(w·d) full rebuild.
-//    Entries not touched since the last sync are re-evaluated lazily: a
-//    full refresh runs every `refresh_every` ticks (default window/4), so
-//    staleness from window expiry is bounded by one refresh interval.
-//    While no window content expires, the tracked vector is exactly the
-//    rebuilt one.
+//    Window expiry is handled exactly by a per-counter expiry-event heap:
+//    every tracked counter reports the next clock value at which its
+//    estimate can change (Counter::NextEstimateChangeAt), the site keeps
+//    those events in a min-heap, and each arrival drains the events that
+//    came due before the sphere test — so the tracked vector equals the
+//    rebuilt one at every check, with no staleness window. Counter types
+//    without the NextEstimateChangeAt hook fall back to the legacy
+//    periodic full refresh every `refresh_every` ticks.
 //  * kRebuild — the legacy reference: every check re-materializes the
 //    full statistics vector and recomputes the ball fresh. Kept for
 //    differential tests (dist_runtime_test.cc verifies both modes sync
@@ -55,9 +58,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <concepts>
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "src/core/ecm_sketch.h"
@@ -105,20 +111,34 @@ struct GeometricMonitorConfig {
   double threshold = 0.0;    ///< alarm when the global f >= threshold
   uint64_t check_every = 1;  ///< sphere-test cadence, in per-site updates
   DriftTracking drift = DriftTracking::kIncremental;
-  /// Ticks between full refreshes of the incrementally tracked
-  /// statistics vector (staleness bound under window expiry);
-  /// 0 = window_len / 4.
+  /// Fallback staleness bound for counter types without the
+  /// NextEstimateChangeAt hook (0 = window_len / 4): ticks between full
+  /// refreshes of the incrementally tracked statistics vector. Counters
+  /// with the hook (EH, RW) are tracked exactly via the expiry-event
+  /// heap and never take the periodic refresh.
   uint64_t refresh_every = 0;
 };
 
 namespace geom_internal {
 
+/// Counter types that can report the next clock value at which their
+/// estimate can change with no further arrivals. Monitors over such
+/// counters (EH, RW) track incremental drift exactly via the per-counter
+/// expiry-event heap; anything else keeps the periodic refresh fallback.
+template <typename C>
+concept HasNextEstimateChange =
+    requires(const C& c, Timestamp now, uint64_t range) {
+      { c.NextEstimateChangeAt(now, range) } -> std::same_as<Timestamp>;
+    };
+
 /// Per-site state every monitor keeps; f-specific monitors may extend it
 /// with extra ball bookkeeping (the self-join monitor's per-row norms).
 template <SlidingWindowCounter Counter>
 struct SiteStateBase {
+  using ExpiryEvent = std::pair<Timestamp, uint32_t>;  // (when, cell)
+
   SiteStateBase(NodeId id, const EcmConfig& cfg, size_t dim)
-      : node(id, cfg), v_sync(dim, 0.0), v_cur(dim, 0.0) {}
+      : node(id, cfg), v_sync(dim, 0.0), v_cur(dim, 0.0), scheduled(dim, 0) {}
   Site<Counter> node;
   std::vector<double> v_sync;  ///< statistics vector at the last sync
   std::vector<double> v_cur;   ///< tracked current statistics vector
@@ -128,6 +148,14 @@ struct SiteStateBase {
   uint64_t cadence_ticks = 0;  ///< arrivals since the initial sync
   uint64_t checks = 0;
   uint64_t violations = 0;
+  /// Min-heap of pending estimate-change events (lazy deletion: an entry
+  /// is live iff it matches `scheduled` for its cell). Unused when the
+  /// counter lacks NextEstimateChangeAt or in kRebuild mode.
+  std::priority_queue<ExpiryEvent, std::vector<ExpiryEvent>,
+                      std::greater<ExpiryEvent>>
+      expiry_heap;
+  /// Earliest heap entry per cell; 0 = none pending.
+  std::vector<Timestamp> scheduled;
 };
 
 template <SlidingWindowCounter Counter>
@@ -163,6 +191,11 @@ class GeometricMonitorBase {
     ++st.updates;
     if (!synced_once_) return true;  // initial sync still outstanding
     if (config_.drift == DriftTracking::kIncremental) {
+      if constexpr (geom_internal::HasNextEstimateChange<Counter>) {
+        // Replay every estimate-change event the clock has passed before
+        // folding in this arrival, so untouched entries are exact too.
+        DrainExpiryEvents(&st);
+      }
       derived().UpdateDrift(&st, key);
     }
     const uint64_t cadence = std::max<uint64_t>(config_.check_every, 1);
@@ -170,8 +203,14 @@ class GeometricMonitorBase {
     ++st.checks;
     if (config_.drift == DriftTracking::kRebuild) {
       derived().RefreshVector(&st);
-    } else if (st.node.sketch().Now() - st.last_refresh >= refresh_period_) {
-      derived().RefreshVector(&st);
+    } else {
+      if constexpr (!geom_internal::HasNextEstimateChange<Counter>) {
+        // No expiry events available for this counter type: bound the
+        // staleness from window expiry by the periodic full refresh.
+        if (st.node.sketch().Now() - st.last_refresh >= refresh_period_) {
+          derived().RefreshVector(&st);
+        }
+      }
     }
     if (!derived().SphereViolation(st)) return false;
     ++st.violations;
@@ -200,6 +239,9 @@ class GeometricMonitorBase {
     ++stats_.syncs;
     synced_once_ = true;
     for (SiteState& st : sites_) st.radius_sq = 0.0;
+    if (config_.drift == DriftTracking::kIncremental) {
+      for (SiteState& st : sites_) RebuildExpirySchedule(&st);
+    }
 
     // Vectors up, the average back down — the sync's wire cost.
     for (const SiteState& st : sites_) {
@@ -262,6 +304,59 @@ class GeometricMonitorBase {
     return static_cast<const Derived&>(*this);
   }
 
+  // --- per-counter expiry-event heap (kIncremental, hook-aware counters) --
+  //
+  // Every cell of the tracked statistics vector is backed by one counter;
+  // its estimate moves either when an arrival touches it (UpdateDrift
+  // re-evaluates those cells directly) or when the window boundary slides
+  // past retained content. For the latter, each cell keeps at most one
+  // live heap entry at the counter's self-reported next change time;
+  // DrainExpiryEvents replays the due entries before every sphere test, so
+  // the incremental vector is exact — no periodic staleness refresh.
+
+  /// Registers cell `cell`'s next estimate-change event. `when` == 0 means
+  /// the estimate can never change again without an arrival. A later event
+  /// than the one already pending is dropped: firing early is a harmless
+  /// re-evaluate-and-reschedule, and the pending entry stays the earliest.
+  void ScheduleCell(SiteState* st, uint32_t cell, Timestamp when) {
+    if (when == 0) return;
+    Timestamp& slot = st->scheduled[cell];
+    if (slot != 0 && slot <= when) return;
+    slot = when;
+    st->expiry_heap.emplace(when, cell);
+  }
+
+  /// Replays every scheduled estimate-change event at or before the
+  /// site's clock; each live event re-evaluates its cell and reschedules.
+  void DrainExpiryEvents(SiteState* st) {
+    const Timestamp now = st->node.sketch().Now();
+    auto& heap = st->expiry_heap;
+    while (!heap.empty() && heap.top().first <= now) {
+      const auto [when, cell] = heap.top();
+      heap.pop();
+      if (st->scheduled[cell] != when) continue;  // superseded entry
+      st->scheduled[cell] = 0;
+      derived().ReevaluateCell(st, cell);
+    }
+  }
+
+  /// Re-seeds the full schedule from scratch (after a sync refresh, when
+  /// every cell was just re-evaluated exactly).
+  void RebuildExpirySchedule(SiteState* st) {
+    if constexpr (geom_internal::HasNextEstimateChange<Counter>) {
+      st->expiry_heap = {};
+      std::fill(st->scheduled.begin(), st->scheduled.end(), 0);
+      const Timestamp now = st->node.sketch().Now();
+      for (size_t k = 0; k < dim_; ++k) {
+        ScheduleCell(st, static_cast<uint32_t>(k),
+                     derived()
+                         .CellCounter(*st, static_cast<uint32_t>(k))
+                         .NextEstimateChangeAt(now,
+                                               sketch_config_.window_len));
+      }
+    }
+  }
+
   EcmConfig sketch_config_;
   GeometricMonitorConfig config_;
   Transport* transport_;
@@ -316,6 +411,14 @@ class GeometricSelfJoinMonitorT
     const uint32_t width = this->sketch_config_.width;
     for (int j = 0; j < this->sketch_config_.depth; ++j) {
       const size_t k = static_cast<size_t>(j) * width + cols[j];
+      if constexpr (geom_internal::HasNextEstimateChange<Counter>) {
+        // The arrival changed this counter's content, so its pending
+        // expiry event may be stale — reschedule even if the estimate
+        // value happens to be unchanged right now.
+        this->ScheduleCell(st, static_cast<uint32_t>(k),
+                           sk.CounterAt(j, cols[j]).NextEstimateChangeAt(
+                               now, this->sketch_config_.window_len));
+      }
       const double new_v = ests[j];
       const double old_v = st->v_cur[k];
       if (new_v == old_v) continue;
@@ -326,6 +429,39 @@ class GeometricSelfJoinMonitorT
       const double new_c = this->e_avg_[k] + 0.5 * new_d;
       st->row_sq[static_cast<size_t>(j)] += new_c * new_c - old_c * old_c;
       st->v_cur[k] = new_v;
+    }
+  }
+
+  /// The counter backing statistics-vector cell `k` (row-major grid).
+  const Counter& CellCounter(const SiteState& st, uint32_t cell) const {
+    const uint32_t width = this->sketch_config_.width;
+    return st.node.sketch().CounterAt(static_cast<int>(cell / width),
+                                      cell % width);
+  }
+
+  /// Expiry-event replay for one cell: window expiry moved (or may have
+  /// moved) the cell's estimate with no arrival touching it. Same
+  /// difference updates as UpdateDrift, then reschedule.
+  void ReevaluateCell(SiteState* st, uint32_t cell) {
+    const EcmSketch<Counter>& sk = st->node.sketch();
+    const Timestamp now = sk.Now();
+    const uint32_t width = this->sketch_config_.width;
+    const int row = static_cast<int>(cell / width);
+    const Counter& c = sk.CounterAt(row, cell % width);
+    const uint64_t range = this->sketch_config_.window_len;
+    const double new_v = c.Estimate(now, range);
+    const double old_v = st->v_cur[cell];
+    if (new_v != old_v) {
+      const double old_d = old_v - st->v_sync[cell];
+      const double new_d = new_v - st->v_sync[cell];
+      st->radius_sq += new_d * new_d - old_d * old_d;
+      const double old_c = this->e_avg_[cell] + 0.5 * old_d;
+      const double new_c = this->e_avg_[cell] + 0.5 * new_d;
+      st->row_sq[static_cast<size_t>(row)] += new_c * new_c - old_c * old_c;
+      st->v_cur[cell] = new_v;
+    }
+    if constexpr (geom_internal::HasNextEstimateChange<Counter>) {
+      this->ScheduleCell(st, cell, c.NextEstimateChangeAt(now, range));
     }
   }
 
@@ -445,9 +581,13 @@ class GeometricPointMonitorT
     const Timestamp now = sk.Now();
     for (int j = 0; j < this->sketch_config_.depth; ++j) {
       if (cols[j] != watched_cols_[j]) continue;
-      const double new_v =
-          sk.CounterAt(j, watched_cols_[j])
-              .Estimate(now, this->sketch_config_.window_len);
+      const Counter& c = sk.CounterAt(j, watched_cols_[j]);
+      if constexpr (geom_internal::HasNextEstimateChange<Counter>) {
+        this->ScheduleCell(
+            st, static_cast<uint32_t>(j),
+            c.NextEstimateChangeAt(now, this->sketch_config_.window_len));
+      }
+      const double new_v = c.Estimate(now, this->sketch_config_.window_len);
       const size_t k = static_cast<size_t>(j);
       const double old_v = st->v_cur[k];
       if (new_v == old_v) continue;
@@ -455,6 +595,33 @@ class GeometricPointMonitorT
       const double new_d = new_v - st->v_sync[k];
       st->radius_sq += new_d * new_d - old_d * old_d;
       st->v_cur[k] = new_v;
+    }
+  }
+
+  /// Cell j of the watched key's statistics vector = row j's counter at
+  /// the key's bucket.
+  const Counter& CellCounter(const SiteState& st, uint32_t cell) const {
+    return st.node.sketch().CounterAt(static_cast<int>(cell),
+                                      watched_cols_[cell]);
+  }
+
+  /// Expiry-event replay for row `cell` (see the self-join monitor).
+  void ReevaluateCell(SiteState* st, uint32_t cell) {
+    const EcmSketch<Counter>& sk = st->node.sketch();
+    const Timestamp now = sk.Now();
+    const Counter& c =
+        sk.CounterAt(static_cast<int>(cell), watched_cols_[cell]);
+    const uint64_t range = this->sketch_config_.window_len;
+    const double new_v = c.Estimate(now, range);
+    const double old_v = st->v_cur[cell];
+    if (new_v != old_v) {
+      const double old_d = old_v - st->v_sync[cell];
+      const double new_d = new_v - st->v_sync[cell];
+      st->radius_sq += new_d * new_d - old_d * old_d;
+      st->v_cur[cell] = new_v;
+    }
+    if constexpr (geom_internal::HasNextEstimateChange<Counter>) {
+      this->ScheduleCell(st, cell, c.NextEstimateChangeAt(now, range));
     }
   }
 

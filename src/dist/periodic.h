@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/core/ecm_sketch.h"
+#include "src/dist/compress.h"
 #include "src/dist/network_stats.h"
 #include "src/dist/runtime.h"
 #include "src/dist/serialize.h"
@@ -46,6 +47,14 @@ class PeriodicAggregatorT {
     /// Push whenever the site's windowed L1 estimate moved by this
     /// fraction (relative to its value at the last push; 0 = disabled).
     double drift_fraction = 0.0;
+    /// Wire compression of pushed snapshots (dist/compress.h). The
+    /// default kFull keeps the pre-compression behavior: snapshots are
+    /// charged at full SerializeSketch size and copied directly. Any
+    /// other mode routes every push through a per-site sender/receiver
+    /// channel pair: deltas/RLZ images on the wire, and the coordinator
+    /// snapshot is the receiver-decoded sketch (verified bit-identical
+    /// to the full image).
+    CompressionOptions compression{CompressionMode::kFull};
   };
 
   struct Stats {
@@ -65,7 +74,7 @@ class PeriodicAggregatorT {
     }
     sites_.reserve(static_cast<size_t>(num_sites));
     for (int i = 0; i < num_sites; ++i) {
-      sites_.emplace_back(i, sketch_config_);
+      sites_.emplace_back(i, sketch_config_, config_.compression);
     }
   }
 
@@ -134,6 +143,21 @@ class PeriodicAggregatorT {
     return s;
   }
 
+  /// Aggregated sender-side accounting of the compression channels
+  /// (all-zero in CompressionMode::kFull).
+  CompressionStats compression_stats() const {
+    CompressionStats total;
+    for (const SiteState& site : sites_) {
+      const CompressionStats& s = site.sender.stats();
+      total.full_images += s.full_images;
+      total.delta_images += s.delta_images;
+      total.rlz_images += s.rlz_images;
+      total.wire_bytes += s.wire_bytes;
+      total.raw_bytes += s.raw_bytes;
+    }
+    return total;
+  }
+
   /// Largest timestamp processed so far.
   Timestamp clock() const {
     Timestamp t = 0;
@@ -155,8 +179,11 @@ class PeriodicAggregatorT {
   enum class PushKind { kInitial, kPeriodic, kDrift, kForced };
 
   struct SiteState {
-    SiteState(NodeId id, const EcmConfig& cfg) : node(id, cfg) {}
+    SiteState(NodeId id, const EcmConfig& cfg, const CompressionOptions& copts)
+        : node(id, cfg), sender(copts), receiver(copts) {}
     Site<Counter> node;
+    SketchSender<Counter> sender;      // compressed-push channel (unused
+    SketchReceiver<Counter> receiver;  // in CompressionMode::kFull)
     std::optional<EcmSketch<Counter>> snapshot;
     Timestamp last_push_ts = 0;
     double pushed_l1 = 0.0;  ///< windowed L1 estimate at the last push
@@ -169,14 +196,36 @@ class PeriodicAggregatorT {
 
   void Push(SiteState* site, PushKind kind) {
     const EcmSketch<Counter>& local = site->node.sketch();
-    site->snapshot = local;  // models serialize -> wire -> deserialize
+    size_t wire;
+    if (config_.compression.mode == CompressionMode::kFull) {
+      site->snapshot = local;  // models serialize -> wire -> deserialize
+      wire = SketchWireSize(local);
+      transport_->Send(site->node.id(), kCoordinatorNode, wire);
+    } else {
+      SketchWireImage img = site->sender.Ship(local);
+      auto decoded = site->receiver.Receive(img.kind, img.bytes.data(),
+                                            img.bytes.size());
+      if (!decoded.ok()) {
+        // In-process the channel cannot desync; resync defensively with a
+        // full snapshot so propagation never wedges.
+        site->sender.Reset();
+        img = site->sender.Ship(local);
+        decoded = site->receiver.Receive(img.kind, img.bytes.data(),
+                                         img.bytes.size());
+      }
+      if (decoded.ok()) {
+        site->snapshot = **decoded;
+      } else {
+        site->snapshot = local;
+      }
+      wire = img.bytes.size();
+      transport_->Send(site->node.id(), kCoordinatorNode, wire);
+    }
     site->last_push_ts = local.Now();
     site->pushed_l1 = local.EstimateL1(sketch_config_.window_len);
     ++site->pushes;
     if (kind == PushKind::kPeriodic) ++site->periodic_pushes;
     if (kind == PushKind::kDrift) ++site->drift_pushes;
-    const size_t wire = SketchWireSize(local);
-    transport_->Send(site->node.id(), kCoordinatorNode, wire);
     ++site->net.messages;
     site->net.bytes += wire;
   }

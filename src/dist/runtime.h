@@ -32,6 +32,7 @@
 
 #include "src/core/ecm_sketch.h"
 #include "src/dist/aggregation_tree.h"
+#include "src/dist/compress.h"
 #include "src/dist/serialize.h"
 #include "src/dist/site.h"
 #include "src/dist/transport.h"
@@ -71,21 +72,57 @@ class Coordinator {
   Transport& transport() { return *transport_; }
   const Transport& transport() const { return *transport_; }
 
+  /// Enables compressed propagation for CollectAndMerge: every site gets
+  /// a persistent sender/receiver channel pair (dist/compress.h), so
+  /// repeated collects ship delta/RLZ images instead of full snapshots.
+  /// The merged view is built from the receiver-decoded sketches — the
+  /// exact state a remote coordinator would reconstruct — which the
+  /// channels verify bit-identical to the full images.
+  void EnableCompression(const CompressionOptions& options) {
+    channels_.clear();
+    channels_.reserve(sites_.size());
+    for (size_t i = 0; i < sites_.size(); ++i) channels_.emplace_back(options);
+  }
+
+  /// Aggregated sender-side accounting of the compression channels.
+  CompressionStats compression_stats() const {
+    CompressionStats total;
+    for (const Channel& ch : channels_) {
+      const CompressionStats& s = ch.sender.stats();
+      total.full_images += s.full_images;
+      total.delta_images += s.delta_images;
+      total.rlz_images += s.rlz_images;
+      total.wire_bytes += s.wire_bytes;
+      total.raw_bytes += s.raw_bytes;
+    }
+    return total;
+  }
+
   /// Flat §5.3 aggregation: every site ships its serialized sketch to the
   /// coordinator (n messages at exact wire size; payload-carrying
   /// transports deliver the bytes verbatim), which merges them
   /// order-preservingly with window error parameter `eps_prime_sw`
-  /// (defaults to the sites' own ε_sw).
+  /// (defaults to the sites' own ε_sw). With EnableCompression the
+  /// shipped images are delta/RLZ-compressed against the previous
+  /// collect and decoded back through the receiver channels.
   Result<EcmSketch<Counter>> CollectAndMerge(double eps_prime_sw = -1.0,
                                              uint64_t seed = 0) const {
+    const double eps = eps_prime_sw > 0.0 ? eps_prime_sw : config_.epsilon_sw;
     std::vector<const EcmSketch<Counter>*> ptrs;
     ptrs.reserve(sites_.size());
+    if (!channels_.empty()) {
+      for (size_t i = 0; i < sites_.size(); ++i) {
+        auto decoded = ShipThroughChannel(i);
+        if (!decoded.ok()) return decoded.status();
+        ptrs.push_back(*decoded);
+      }
+      return EcmSketch<Counter>::Merge(ptrs, eps, seed);
+    }
     for (const auto& s : sites_) {
       const std::vector<uint8_t> wire = SerializeSketch(s.sketch());
       transport_->Send(s.id(), kCoordinatorNode, wire.data(), wire.size());
       ptrs.push_back(&s.sketch());
     }
-    const double eps = eps_prime_sw > 0.0 ? eps_prime_sw : config_.epsilon_sw;
     return EcmSketch<Counter>::Merge(ptrs, eps, seed);
   }
 
@@ -100,10 +137,44 @@ class Coordinator {
   }
 
  private:
+  struct Channel {
+    explicit Channel(const CompressionOptions& options)
+        : sender(options), receiver(options) {}
+    SketchSender<Counter> sender;
+    SketchReceiver<Counter> receiver;
+  };
+
+  /// Ships site `i`'s sketch through its channel and returns the decoded
+  /// (receiver-side) sketch. A stale-base rejection — e.g. the first
+  /// image after a channel reset — resyncs once with a full snapshot.
+  Result<const EcmSketch<Counter>*> ShipThroughChannel(size_t i) const {
+    Channel& ch = channels_[i];
+    const Site<Counter>& s = sites_[i];
+    SketchWireImage img = ch.sender.Ship(s.sketch());
+    transport_->Send(s.id(), kCoordinatorNode, img.bytes.data(),
+                     img.bytes.size());
+    auto decoded =
+        ch.receiver.Receive(img.kind, img.bytes.data(), img.bytes.size());
+    if (!decoded.ok() && decoded.status().code() == StatusCode::kStaleBase) {
+      ch.sender.Reset();
+      img = ch.sender.Ship(s.sketch());
+      transport_->Send(s.id(), kCoordinatorNode, img.bytes.data(),
+                       img.bytes.size());
+      decoded =
+          ch.receiver.Receive(img.kind, img.bytes.data(), img.bytes.size());
+    }
+    if (!decoded.ok()) return decoded.status();
+    return *decoded;
+  }
+
   EcmConfig config_;
   Transport* transport_;
   std::unique_ptr<Transport> owned_transport_;
   std::vector<Site<Counter>> sites_;
+  // Per-site compression channels (empty = uncompressed propagation).
+  // `mutable` because CollectAndMerge is logically const on the sites
+  // but advances the channels' reference chain.
+  mutable std::vector<Channel> channels_;
 };
 
 /// The rendezvous point of ParallelIngest: workers drain their shards in

@@ -50,6 +50,34 @@ uint64_t WireChecksum(const uint8_t* data, size_t size) {
   return h;
 }
 
+Status CheckWireHeader(const uint8_t* data, size_t size,
+                       const uint8_t (&magic)[4], ByteReader* r) {
+  constexpr size_t kHeaderBytes = sizeof(magic) + sizeof(uint64_t);
+  if (size < kHeaderBytes) {
+    return Status::Corruption("wire image shorter than header");
+  }
+  for (uint8_t expected : magic) {
+    auto b = r->GetFixed<uint8_t>();
+    if (!b.ok()) return b.status();
+    if (*b != expected) return Status::Corruption("bad wire image magic");
+  }
+  auto checksum = r->GetFixed<uint64_t>();
+  if (!checksum.ok()) return checksum.status();
+  if (WireChecksum(data + kHeaderBytes, size - kHeaderBytes) != *checksum) {
+    return Status::Corruption("wire image checksum mismatch");
+  }
+  return Status::OK();
+}
+
+std::vector<uint8_t> WrapWirePayload(const uint8_t (&magic)[4],
+                                     const ByteWriter& payload) {
+  ByteWriter out;
+  out.PutRaw(magic, sizeof(magic));
+  out.PutFixed<uint64_t>(WireChecksum(payload.bytes().data(), payload.size()));
+  out.PutRaw(payload.bytes().data(), payload.size());
+  return out.MoveBytes();
+}
+
 }  // namespace wire_internal
 
 void SerializeEcmConfig(const EcmConfig& cfg, ByteWriter* w) {

@@ -41,7 +41,7 @@ constexpr size_t kChecksummedHeaderBytes = kCrcOffset - kChecksummedOffset;
 
 bool ValidFrameType(uint8_t t) {
   return t >= static_cast<uint8_t>(FrameType::kHello) &&
-         t <= static_cast<uint8_t>(FrameType::kDone);
+         t <= static_cast<uint8_t>(FrameType::kSketchRlz);
 }
 
 // Writes all of `data` to `fd`, surviving partial writes and EINTR.

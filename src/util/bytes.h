@@ -120,6 +120,17 @@ class ByteReader {
     return d;
   }
 
+  /// Returns a pointer to the next `n` unconsumed bytes and advances past
+  /// them; Corruption if fewer remain. The span aliases the input buffer.
+  Result<const uint8_t*> GetRaw(size_t n) {
+    if (n > size_ - pos_) {
+      return Status::Corruption("truncated raw byte span");
+    }
+    const uint8_t* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
   /// Bytes not yet consumed.
   size_t remaining() const { return size_ - pos_; }
   bool exhausted() const { return pos_ == size_; }

@@ -20,6 +20,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kIOError:
       return "IO error";
+    case StatusCode::kStaleBase:
+      return "Stale base";
   }
   return "Unknown";
 }

@@ -25,6 +25,7 @@ enum class StatusCode : int {
   kCorruption = 5,      ///< malformed serialized bytes
   kInternal = 6,
   kIOError = 7,         ///< socket/file transfer failure
+  kStaleBase = 8,       ///< delta/RLZ image against the wrong base snapshot
 };
 
 /// Returns a short human-readable name for a StatusCode ("OK",
@@ -66,6 +67,9 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status StaleBase(std::string msg) {
+    return Status(StatusCode::kStaleBase, std::move(msg));
   }
 
   /// True iff the status is OK.

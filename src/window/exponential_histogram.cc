@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace ecm {
 
@@ -229,6 +230,39 @@ double ExponentialHistogram::Estimate(Timestamp now, uint64_t range) const {
     break;
   }
   return static_cast<double>(weight) - straddle;
+}
+
+Timestamp ExponentialHistogram::NextEstimateChangeAt(Timestamp now,
+                                                     uint64_t range) const {
+  assert(now >= last_ts_);
+  if (range > window_len_) range = window_len_;
+  if (num_buckets_ == 0) return 0;
+  const Timestamp boundary = WindowStart(now, range);
+  uint64_t candidate = std::numeric_limits<uint64_t>::max();
+  // The straddle correction special-cases boundary == 0, so leaving zero
+  // is itself a potential flip.
+  if (boundary == 0) candidate = 1;
+  if (expired_end_ > boundary) candidate = std::min(candidate, expired_end_);
+  // Smallest bucket end past the boundary: bucket age strictly decreases
+  // from the top level down, so it is the first in-range bucket of the
+  // highest level that still has one.
+  for (size_t i = top_level_ + 1; i-- > 0;) {
+    const uint32_t n = level_count_[i];
+    if (n == 0 || At(i, n - 1).end <= boundary) continue;
+    uint32_t lo = 0, hi = n;
+    while (lo < hi) {
+      uint32_t mid = lo + (hi - lo) / 2;
+      if (At(i, mid).end <= boundary) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    candidate = std::min<uint64_t>(candidate, At(i, lo).end);
+    break;
+  }
+  if (candidate == std::numeric_limits<uint64_t>::max()) return 0;
+  return candidate + range;
 }
 
 double ExponentialHistogram::EstimateScanReference(Timestamp now,

@@ -98,6 +98,21 @@ class ExponentialHistogram {
     return Estimate(now, window_len());
   }
 
+  /// Earliest clock value strictly after `now` at which Estimate(·, range)
+  /// can return a different value than at `now`, assuming no further
+  /// Add/Expire calls — i.e. the next window-expiry event of this counter.
+  /// Returns 0 when the estimate can never change again (empty histogram,
+  /// or all content already behind the boundary). The incremental drift
+  /// tracker (dist/geometric.h) schedules per-counter expiry-event heap
+  /// entries off this, replacing its former periodic staleness refresh.
+  ///
+  /// The estimate is a function of which bucket ends lie past the window
+  /// boundary plus the straddle half-correction (driven by expired_end_
+  /// and the boundary-zero special case), so it is piecewise constant in
+  /// `now` with flips exactly when the boundary crosses a bucket end,
+  /// the expiry watermark, or leaves zero.
+  Timestamp NextEstimateChangeAt(Timestamp now, uint64_t range) const;
+
   /// Drops buckets entirely outside the window ending at `now`.
   void Expire(Timestamp now);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "src/util/bits.h"
 
@@ -167,6 +168,26 @@ double RandomizedWave::Estimate(Timestamp now, uint64_t range) const {
   auto mid = ests.begin() + ests.size() / 2;
   std::nth_element(ests.begin(), mid, ests.end());
   return *mid;
+}
+
+Timestamp RandomizedWave::NextEstimateChangeAt(Timestamp now,
+                                               uint64_t range) const {
+  assert(now >= last_ts_);
+  if (range > window_len_) range = window_len_;
+  const Timestamp boundary = WindowStart(now, range);
+  uint64_t candidate = std::numeric_limits<uint64_t>::max();
+  for (const SubWave& sw : subwaves_) {
+    for (const auto& level : sw.levels) {
+      // First run past the boundary: the next coverage/partition flip of
+      // this level.
+      auto it = std::partition_point(
+          level.begin(), level.end(),
+          [boundary](const Sample& s) { return s.ts <= boundary; });
+      if (it != level.end()) candidate = std::min(candidate, it->ts);
+    }
+  }
+  if (candidate == std::numeric_limits<uint64_t>::max()) return 0;
+  return candidate + range;
 }
 
 double RandomizedWave::EstimateScanReference(Timestamp now,

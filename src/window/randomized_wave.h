@@ -82,6 +82,16 @@ class RandomizedWave {
   /// differential-test oracle and the bench ablation baseline.
   double EstimateScanReference(Timestamp now, uint64_t range) const;
 
+  /// Earliest clock value strictly after `now` at which Estimate(·, range)
+  /// can differ from its value at `now`, assuming no further Adds; 0 when
+  /// it can never change again. Conservative (may fire when the median
+  /// happens not to move): every per-level selection and partition flip
+  /// happens when the window boundary crosses a retained sample
+  /// timestamp, so the next candidate is the smallest retained timestamp
+  /// past the boundary across all sub-waves and levels. Drives the
+  /// geometric monitors' per-counter expiry-event heap.
+  Timestamp NextEstimateChangeAt(Timestamp now, uint64_t range) const;
+
   /// Drops sample entries that can no longer influence in-window queries.
   void Expire(Timestamp now);
 

@@ -128,6 +128,42 @@ TEST(CoordinatorTest, CollectAndMergeChargesExactWireBytes) {
   }
 }
 
+TEST(CoordinatorTest, CompressedCollectMatchesUncompressedBitForBit) {
+  EcmConfig cfg = SketchCfg(7, OptimizeFor::kPointQueries);
+  LoopbackTransport t_plain, t_comp;
+  Coordinator<ExponentialHistogram> plain(3, cfg, &t_plain);
+  Coordinator<ExponentialHistogram> comp(3, cfg, &t_comp);
+  CompressionOptions copts;
+  copts.mode = CompressionMode::kAuto;
+  comp.EnableCompression(copts);
+
+  // Several collect rounds: after the first, the channels ship delta/RLZ
+  // images, and the merged views must stay identical to the
+  // uncompressed coordinator's on the same arrivals.
+  auto events = ZipfEvents(12'000, 3, 31);
+  const size_t rounds = 6;
+  const size_t per_round = events.size() / rounds;
+  for (size_t r = 0; r < rounds; ++r) {
+    for (size_t i = r * per_round; i < (r + 1) * per_round; ++i) {
+      const auto& e = events[i];
+      plain.site(static_cast<int>(e.node)).Ingest(e.key, e.ts);
+      comp.site(static_cast<int>(e.node)).Ingest(e.key, e.ts);
+    }
+    auto want = plain.CollectAndMerge();
+    auto got = comp.CollectAndMerge();
+    ASSERT_TRUE(want.ok() && got.ok());
+    ASSERT_EQ(SerializeSketch(*got), SerializeSketch(*want)) << "round " << r;
+  }
+  const CompressionStats cs = comp.compression_stats();
+  EXPECT_EQ(cs.full_images + cs.delta_images + cs.rlz_images,
+            rounds * 3);
+  EXPECT_GT(cs.delta_images + cs.rlz_images, 0u);
+  EXPECT_LT(cs.wire_bytes, cs.raw_bytes);
+  // The transport was charged the compressed volume, not the raw one.
+  EXPECT_EQ(t_comp.stats().bytes, cs.wire_bytes);
+  EXPECT_LT(t_comp.stats().bytes, t_plain.stats().bytes);
+}
+
 TEST(CoordinatorTest, AggregateUpEqualsLegacyTreeAccounting) {
   EcmConfig cfg = SketchCfg(9, OptimizeFor::kPointQueries);
   LoopbackTransport transport;
@@ -359,6 +395,155 @@ TEST(IncrementalDriftTest, DetectsCrossingBeyondWindowExpiry) {
     monitor.Process(i % 2, 7, ++t);
   }
   EXPECT_TRUE(monitor.AboveThreshold());
+}
+
+TEST(IncrementalDriftTest, ExpiryHeapCatchesDownwardCrossingWithoutRefresh) {
+  // Pins the old staleness bug: with the periodic refresh disabled
+  // (refresh_every huge), the former tick-based tracker would keep the
+  // flooded cells' stale estimates forever once the flood stops — the
+  // site ball never reaches the surface and the monitor stays "above"
+  // after the window has long expired the flood. The per-counter
+  // expiry-event heap must replay the estimate drops exactly, so
+  // incremental mode fires syncs on the very same arrivals as the
+  // full-rebuild reference and detects the downward crossing.
+  constexpr uint64_t kWin = 2'000;
+  auto cfg_r = EcmConfig::Create(0.1, 0.1, WindowMode::kTimeBased, kWin, 83,
+                                 OptimizeFor::kSelfJoinQueries);
+  ASSERT_TRUE(cfg_r.ok());
+  const EcmConfig cfg = *cfg_r;
+
+  // Quiet-phase keys must not collide with the flood key in any row, so
+  // no arrival ever re-touches the flooded cells: only window expiry can
+  // move them.
+  constexpr uint64_t kFloodKey = 7;
+  EcmSketch<ExponentialHistogram> probe(cfg);
+  uint32_t flood_cols[kMaxSketchDepth];
+  probe.RowBuckets(kFloodKey, flood_cols);
+  std::vector<uint64_t> quiet_keys;
+  for (uint64_t k = 100; quiet_keys.size() < 50; ++k) {
+    uint32_t cols[kMaxSketchDepth];
+    probe.RowBuckets(k, cols);
+    bool collides = false;
+    for (int j = 0; j < cfg.depth; ++j) collides |= cols[j] == flood_cols[j];
+    if (!collides) quiet_keys.push_back(k);
+  }
+
+  std::vector<StreamEvent> script;
+  Timestamp ts = 0;
+  for (int i = 0; i < 4'000; ++i) {  // flood: 2 arrivals per tick
+    if (i % 2 == 0) ++ts;
+    script.push_back(StreamEvent{ts, kFloodKey, static_cast<uint32_t>(i % 2)});
+  }
+  for (int i = 0; i < 4'000; ++i) {  // quiet: disjoint keys, 2 windows long
+    ++ts;
+    script.push_back(StreamEvent{ts, quiet_keys[i % quiet_keys.size()],
+                                 static_cast<uint32_t>(i % 2)});
+  }
+
+  GeometricSelfJoinMonitor::Config mc;
+  mc.threshold = 1e6;
+  mc.check_every = 2;
+  mc.refresh_every = 1'000'000'000;  // the legacy staleness tick never fires
+
+  auto run = [&](DriftTracking drift) {
+    auto mcd = mc;
+    mcd.drift = drift;
+    GeometricSelfJoinMonitor monitor(2, cfg, mcd);
+    std::vector<size_t> syncs;
+    size_t above_at = SIZE_MAX, below_at = SIZE_MAX;
+    for (size_t i = 0; i < script.size(); ++i) {
+      if (monitor.Process(static_cast<int>(script[i].node), script[i].key,
+                          script[i].ts)) {
+        syncs.push_back(i);
+      }
+      if (above_at == SIZE_MAX && monitor.AboveThreshold()) above_at = i;
+      if (above_at != SIZE_MAX && below_at == SIZE_MAX &&
+          !monitor.AboveThreshold()) {
+        below_at = i;
+      }
+    }
+    return std::make_tuple(syncs, above_at, below_at);
+  };
+
+  auto [inc_syncs, inc_above, inc_below] = run(DriftTracking::kIncremental);
+  auto [reb_syncs, reb_above, reb_below] = run(DriftTracking::kRebuild);
+  EXPECT_EQ(inc_syncs, reb_syncs);
+  EXPECT_EQ(inc_above, reb_above);
+  EXPECT_EQ(inc_below, reb_below);
+  // The flood pushes F2 over T; the quiet phase's expiry must bring the
+  // monitor back below — an expiry-driven sync, no refresh tick involved.
+  ASSERT_NE(inc_above, SIZE_MAX);
+  EXPECT_LT(inc_above, 4'000u);
+  ASSERT_NE(inc_below, SIZE_MAX) << "downward crossing missed under expiry";
+  EXPECT_GE(inc_below, 4'000u);
+}
+
+TEST(IncrementalDriftTest, PointMonitorExpiryMatchesRebuildWithoutRefresh) {
+  // Same staleness pin for the point monitor: the watched key's rows
+  // decay purely by expiry during the quiet phase.
+  constexpr uint64_t kWin = 1'500;
+  auto cfg_r = EcmConfig::Create(0.1, 0.1, WindowMode::kTimeBased, kWin, 29,
+                                 OptimizeFor::kPointQueries);
+  ASSERT_TRUE(cfg_r.ok());
+  const EcmConfig cfg = *cfg_r;
+  constexpr uint64_t kVictim = 0xBEEF;
+  EcmSketch<ExponentialHistogram> probe(cfg);
+  uint32_t victim_cols[kMaxSketchDepth];
+  probe.RowBuckets(kVictim, victim_cols);
+  std::vector<uint64_t> quiet_keys;
+  for (uint64_t k = 3; quiet_keys.size() < 40; ++k) {
+    uint32_t cols[kMaxSketchDepth];
+    probe.RowBuckets(k, cols);
+    bool collides = false;
+    for (int j = 0; j < cfg.depth; ++j) collides |= cols[j] == victim_cols[j];
+    if (!collides) quiet_keys.push_back(k);
+  }
+
+  std::vector<StreamEvent> script;
+  Timestamp ts = 0;
+  for (int i = 0; i < 3'000; ++i) {
+    if (i % 2 == 0) ++ts;
+    script.push_back(StreamEvent{ts, kVictim, static_cast<uint32_t>(i % 2)});
+  }
+  for (int i = 0; i < 6'000; ++i) {
+    ++ts;
+    script.push_back(StreamEvent{ts, quiet_keys[i % quiet_keys.size()],
+                                 static_cast<uint32_t>(i % 2)});
+  }
+
+  GeometricPointMonitor::Config mc;
+  mc.key = kVictim;
+  mc.threshold = 800;
+  mc.check_every = 2;
+  mc.refresh_every = 1'000'000'000;
+
+  auto run = [&](DriftTracking drift) {
+    auto mcd = mc;
+    mcd.drift = drift;
+    GeometricPointMonitor monitor(2, cfg, mcd);
+    std::vector<size_t> syncs;
+    size_t below_at = SIZE_MAX;
+    bool was_above = false;
+    for (size_t i = 0; i < script.size(); ++i) {
+      if (monitor.Process(static_cast<int>(script[i].node), script[i].key,
+                          script[i].ts)) {
+        syncs.push_back(i);
+      }
+      was_above |= monitor.AboveThreshold();
+      if (was_above && below_at == SIZE_MAX && !monitor.AboveThreshold()) {
+        below_at = i;
+      }
+    }
+    EXPECT_TRUE(was_above);
+    return std::make_pair(syncs, below_at);
+  };
+
+  auto [inc_syncs, inc_below] = run(DriftTracking::kIncremental);
+  auto [reb_syncs, reb_below] = run(DriftTracking::kRebuild);
+  EXPECT_EQ(inc_syncs, reb_syncs);
+  EXPECT_EQ(inc_below, reb_below);
+  ASSERT_NE(inc_below, SIZE_MAX) << "downward crossing missed under expiry";
+  EXPECT_GE(inc_below, 3'000u);
 }
 
 // --- Counter-generic monitors ---------------------------------------------

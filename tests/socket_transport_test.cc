@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/dist/compress.h"
 #include "src/dist/runtime.h"
 #include "src/dist/serialize.h"
 #include "src/stream/generators.h"
@@ -471,6 +472,164 @@ TEST(FrameFuzzTest, CorruptSketchPayloadInsideValidFrameIsRejectedDownstream) {
   ASSERT_TRUE(got->has_value());
   auto back = DeserializeSketch<ExponentialHistogram>((*got)->payload);
   EXPECT_FALSE(back.ok());
+}
+
+// --- Compressed frames across crash/rejoin epochs ---------------------------
+
+/// Coordinator-side receive endpoint for compressed sketch frames: one
+/// SketchReceiver keyed on the site's current kHello rejoin epoch. An
+/// epoch change (crash/rejoin) drops the delta base, so compressed images
+/// stamped with the old epoch reject with kStaleBase and only a fresh
+/// full snapshot re-bases the channel.
+class CompressedSink {
+ public:
+  explicit CompressedSink(const CompressionOptions& opts) : receiver_(opts) {}
+
+  CoordinatorServer::FrameHandler handler() {
+    return [this](const Frame& f) { Handle(f); };
+  }
+
+  void set_server(CoordinatorServer* server) {
+    std::lock_guard<std::mutex> lk(mu_);
+    server_ = server;
+  }
+
+  bool WaitForCount(size_t n, int timeout_ms = 5000) {
+    std::unique_lock<std::mutex> lk(mu_);
+    return cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
+                        [&] { return outcomes_.size() >= n; });
+  }
+
+  std::vector<std::pair<FrameType, StatusCode>> outcomes() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return outcomes_;
+  }
+
+  std::vector<uint8_t> received_image() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    const EcmSketch<ExponentialHistogram>* sk = receiver_.sketch();
+    return sk ? SerializeSketch(*sk) : std::vector<uint8_t>{};
+  }
+
+ private:
+  void Handle(const Frame& f) {
+    SketchWireKind kind;
+    switch (f.type) {
+      case FrameType::kSketch:
+        kind = SketchWireKind::kFull;
+        break;
+      case FrameType::kSketchDelta:
+        kind = SketchWireKind::kDelta;
+        break;
+      case FrameType::kSketchRlz:
+        kind = SketchWireKind::kRlz;
+        break;
+      default:
+        return;  // control / unrelated traffic
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    // The connection's kHello epoch is authoritative: a rejoin bumps it,
+    // which must invalidate any delta base from the previous life.
+    const uint32_t epoch = server_->site(f.from).epoch;
+    if (epoch != receiver_.epoch()) receiver_.set_epoch(epoch);
+    auto got = receiver_.Receive(kind, f.payload.data(), f.payload.size());
+    outcomes_.emplace_back(f.type,
+                           got.ok() ? StatusCode::kOk : got.status().code());
+    cv_.notify_all();
+  }
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  CoordinatorServer* server_ = nullptr;
+  SketchReceiver<ExponentialHistogram> receiver_;
+  std::vector<std::pair<FrameType, StatusCode>> outcomes_;
+};
+
+TEST(SocketTransportTest, RejoinEpochInvalidatesDeltaBase) {
+  CompressionOptions copts;
+  copts.mode = CompressionMode::kDelta;
+  CompressedSink sink(copts);
+  CoordinatorServer::Options sopt;
+  sopt.heartbeat_timeout_ms = 100;
+  sopt.sweep_period_ms = 10;
+  auto server = CoordinatorServer::Start(0, sopt, sink.handler());
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  sink.set_server(server->get());
+
+  EcmConfig cfg = SketchCfg(61);
+  EcmSketch<ExponentialHistogram> local(cfg);
+  SketchSender<ExponentialHistogram> sender(copts);
+  Timestamp ts = 0;
+  auto feed = [&](int n, uint64_t seed) {
+    for (const StreamEvent& e : ZipfEvents(static_cast<size_t>(n), 1, seed)) {
+      local.Add(e.key, ++ts);
+    }
+  };
+  auto ship = [&](SocketTransport* t) {
+    SketchWireImage img = sender.Ship(local);
+    const FrameType type = img.kind == SketchWireKind::kFull
+                               ? FrameType::kSketch
+                               : img.kind == SketchWireKind::kDelta
+                                     ? FrameType::kSketchDelta
+                                     : FrameType::kSketchRlz;
+    ASSERT_TRUE(t->SendPayload(type, kCoordinatorNode,
+                               std::move(img.bytes))
+                    .ok());
+    ASSERT_TRUE(t->Flush().ok());
+  };
+
+  SocketTransport::Options topt;
+  topt.heartbeat_period_ms = 0;
+  {
+    auto client =
+        SocketTransport::Connect("127.0.0.1", (*server)->port(), 9, topt);
+    ASSERT_TRUE(client.ok());
+    feed(3'000, 71);
+    ship(client->get());  // full snapshot primes the channel
+    feed(60, 72);
+    ship(client->get());  // steady-state delta applies
+    ASSERT_TRUE(sink.WaitForCount(2));
+    // Site crashes: connection drops, coordinator marks it down.
+  }
+  ASSERT_TRUE(WaitFor(
+      [&] { return (*server)->site(9).health == SiteHealth::kDown; }));
+
+  // Fault injection: the site rejoins under epoch 2 but resumes from its
+  // stale pre-crash channel state and immediately ships a delta stamped
+  // with the old epoch. The coordinator must refuse it — never a silent
+  // merge against the pre-crash base.
+  topt.epoch = 2;
+  auto again =
+      SocketTransport::Connect("127.0.0.1", (*server)->port(), 9, topt);
+  ASSERT_TRUE(again.ok());
+  ASSERT_TRUE(WaitFor(
+      [&] { return (*server)->site(9).epoch == 2; }));
+  feed(60, 73);
+  ship(again->get());  // stale-epoch delta: must reject
+  ASSERT_TRUE(sink.WaitForCount(3));
+
+  // The site learns the new epoch: full-snapshot resync, then deltas
+  // flow again.
+  sender.set_epoch(2);
+  ship(again->get());
+  feed(60, 74);
+  ship(again->get());
+  ASSERT_TRUE(sink.WaitForCount(5));
+
+  auto outcomes = sink.outcomes();
+  ASSERT_EQ(outcomes.size(), 5u);
+  EXPECT_EQ(outcomes[0], std::make_pair(FrameType::kSketch, StatusCode::kOk));
+  EXPECT_EQ(outcomes[1],
+            std::make_pair(FrameType::kSketchDelta, StatusCode::kOk));
+  EXPECT_EQ(outcomes[2],
+            std::make_pair(FrameType::kSketchDelta, StatusCode::kStaleBase));
+  EXPECT_EQ(outcomes[3], std::make_pair(FrameType::kSketch, StatusCode::kOk));
+  EXPECT_EQ(outcomes[4],
+            std::make_pair(FrameType::kSketchDelta, StatusCode::kOk));
+  EXPECT_EQ((*server)->rejoins(), 1u);
+  // After the resync the coordinator's decoded state is bit-identical to
+  // the site's.
+  EXPECT_EQ(sink.received_image(), SerializeSketch(local));
 }
 
 // --- Backpressure ---------------------------------------------------------

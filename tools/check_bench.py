@@ -84,7 +84,29 @@ def main():
         help="row-name glob that is reported but never fails the gate "
         "(repeatable)",
     )
+    parser.add_argument(
+        "--ceiling",
+        action="append",
+        default=[],
+        metavar="GLOB=BYTES",
+        help="absolute bytes ceiling for rows matching GLOB (repeatable). "
+        "Unlike --bytes-tolerance this needs no baseline row: any current "
+        "row matching GLOB fails when its bytes footprint exceeds BYTES. "
+        "Use for deterministic wire-volume rows (e.g. the compression "
+        "channels) where a hard cap is meaningful.",
+    )
     args = parser.parse_args()
+
+    ceilings = []
+    for spec in args.ceiling:
+        glob_part, sep, bytes_part = spec.rpartition("=")
+        try:
+            if not sep or not glob_part:
+                raise ValueError("missing '='")
+            ceilings.append((glob_part, float(bytes_part)))
+        except ValueError:
+            print(f"error: bad --ceiling spec {spec!r} (want GLOB=BYTES)")
+            return 2
 
     try:
         baseline = load_rows(args.baseline)
@@ -147,6 +169,25 @@ def main():
             f"{name:44s} {base_rate:12.0f} {cur_rate:12.0f} {ratio:6.2f}  "
             f"{verdict}"
         )
+
+    if ceilings:
+        print()
+        for name in sorted(current):
+            _, cur_bytes = current[name]
+            for glob_part, cap in ceilings:
+                if not fnmatch.fnmatch(name, glob_part):
+                    continue
+                if cur_bytes > cap:
+                    print(
+                        f"{name}: bytes {cur_bytes:.0f} exceeds ceiling "
+                        f"{cap:.0f} ({glob_part})"
+                    )
+                    failures.append(name + " [ceiling]")
+                else:
+                    print(
+                        f"{name}: bytes {cur_bytes:.0f} within ceiling "
+                        f"{cap:.0f} ({glob_part})"
+                    )
 
     if only_base:
         print(f"\nnote: {len(only_base)} baseline row(s) missing from the "
