@@ -152,10 +152,11 @@ int SiteMain(const Flags& f) {
   SocketTransport::Options topt;
   topt.heartbeat_period_ms = 100;
   topt.epoch = f.epoch;
-  auto connect = [&]() {
-    return SocketTransport::Connect("127.0.0.1", f.port, f.node, topt);
-  };
-  auto transport = connect();
+  // Link outages heal inside the transport (backoff dials + fresh-epoch
+  // re-hello + retransmit); a push only fails once that machinery has
+  // exhausted its attempts, which is terminal for the site.
+  topt.reconnect_attempts = 16;
+  auto transport = SocketTransport::Connect("127.0.0.1", f.port, f.node, topt);
   if (!transport.ok()) {
     std::fprintf(stderr, "site %d: %s\n", f.node,
                  transport.status().ToString().c_str());
@@ -164,18 +165,25 @@ int SiteMain(const Flags& f) {
 
   Site<ExponentialHistogram> site(f.node, cfg);
   // Compressed mode: one sender per (site, coordinator) channel, keyed on
-  // the transport's rejoin epoch — after a reconnect the sender re-bases
-  // with a full snapshot under the new epoch, so a delta encoded against
-  // pre-crash state can never reach the coordinator's receiver.
+  // the transport's rejoin epoch — polled before every ship, so after an
+  // in-transport reconnect the sender re-bases with a full snapshot under
+  // the new epoch and a delta encoded against pre-crash state can never
+  // poison the coordinator's receiver.
   CompressionOptions copts;
   copts.mode = CompressionMode::kAuto;
   copts.epoch = f.epoch;
   SketchSender<ExponentialHistogram> sender(copts);
+  uint32_t channel_epoch = (*transport)->epoch();
   auto push_snapshot = [&]() -> Status {
     if (!f.compress) {
       return (*transport)
           ->SendPayload(FrameType::kSketch, kCoordinatorNode,
                         SerializeSketch(site.sketch()));
+    }
+    const uint32_t epoch = (*transport)->epoch();
+    if (epoch != channel_epoch) {
+      channel_epoch = epoch;
+      sender.set_epoch(epoch);  // re-base: next image is full
     }
     SketchWireImage img = sender.Ship(site.sketch());
     const FrameType type = img.kind == SketchWireKind::kFull
@@ -193,14 +201,9 @@ int SiteMain(const Flags& f) {
       since_sync = 0;
       Status s = push_snapshot();
       if (!s.ok()) {
-        // Link lost: reconnect with the next epoch and ship a full
-        // snapshot immediately — the catch-up resync path.
-        ++topt.epoch;
-        auto again = connect();
-        if (!again.ok()) return 1;
-        transport = std::move(again);
-        sender.set_epoch(topt.epoch);  // re-base: next image is full
-        (void)push_snapshot();
+        std::fprintf(stderr, "site %d: push failed terminally: %s\n",
+                     f.node, s.ToString().c_str());
+        return 1;
       }
       // Pace the replay so a fault injection lands mid-run instead of
       // after an instantaneous replay (real sites stream, not burst).

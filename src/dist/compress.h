@@ -209,6 +209,15 @@ class SketchSender {
 /// leaves a consistent state; after a non-OK Receive the caller should
 /// request (or wait for) a full snapshot — deltas keep rejecting until
 /// one arrives.
+///
+/// Replay hardening: delivery is at-least-once under retransmitting
+/// transports (a retry after a send timeout, or SocketTransport's
+/// reconnect retransmit), so a byte-identical re-delivery of the image
+/// just applied is *expected* traffic. The receiver fingerprints each
+/// successfully applied image and absorbs such duplicates idempotently —
+/// returning the current sketch, mutating nothing, never double-merging.
+/// Replays of *older* images (same base, but the chain moved on) still
+/// reject with kStaleBase via the base-checksum pinning.
 template <SlidingWindowCounter Counter>
 class SketchReceiver {
  public:
@@ -218,6 +227,10 @@ class SketchReceiver {
   /// by the receiver, valid until the next Receive/Reset).
   Result<const EcmSketch<Counter>*> Receive(SketchWireKind kind,
                                             const uint8_t* data, size_t size) {
+    if (IsDuplicateOfLast(kind, data, size)) {
+      ++duplicates_absorbed_;
+      return &*base_;
+    }
     switch (kind) {
       case SketchWireKind::kFull: {
         auto sketch = DeserializeSketch<Counter>(data, size);
@@ -225,6 +238,7 @@ class SketchReceiver {
         base_.emplace(std::move(*sketch));
         reference_.assign(data, data + size);
         has_version_ = false;
+        NoteApplied(kind, data, size);
         return &*base_;
       }
       case SketchWireKind::kDelta: {
@@ -244,6 +258,7 @@ class SketchReceiver {
         reference_ = std::move(*full);
         base_version_ = info.new_version;
         has_version_ = true;
+        NoteApplied(kind, data, size);
         return &*base_;
       }
       case SketchWireKind::kRlz: {
@@ -254,6 +269,7 @@ class SketchReceiver {
         base_.emplace(std::move(*sketch));
         reference_ = std::move(*full);
         has_version_ = false;
+        NoteApplied(kind, data, size);
         return &*base_;
       }
     }
@@ -266,6 +282,7 @@ class SketchReceiver {
     base_.reset();
     reference_.clear();
     has_version_ = false;
+    has_last_ = false;
   }
 
   /// Rejoin-epoch change: images from other epochs reject, and the base
@@ -281,12 +298,37 @@ class SketchReceiver {
     return base_.has_value() ? &*base_ : nullptr;
   }
 
+  /// Byte-identical re-deliveries absorbed without reapplying.
+  uint64_t duplicates_absorbed() const { return duplicates_absorbed_; }
+
  private:
+  /// True iff this image is byte-identical to the one just applied (and
+  /// the decoded state is still live): the retransmit-duplicate case.
+  bool IsDuplicateOfLast(SketchWireKind kind, const uint8_t* data,
+                         size_t size) const {
+    return has_last_ && base_.has_value() && kind == last_kind_ &&
+           size == last_size_ &&
+           wire_internal::WireChecksum(data, size) == last_checksum_;
+  }
+
+  void NoteApplied(SketchWireKind kind, const uint8_t* data, size_t size) {
+    last_kind_ = kind;
+    last_size_ = size;
+    last_checksum_ = wire_internal::WireChecksum(data, size);
+    has_last_ = true;
+  }
+
   CompressionOptions opts_;
   std::optional<EcmSketch<Counter>> base_;
   std::vector<uint8_t> reference_;
   uint64_t base_version_ = 0;  // sender version chain (delta only)
   bool has_version_ = false;
+  // Fingerprint of the last applied image, for duplicate absorption.
+  bool has_last_ = false;
+  SketchWireKind last_kind_ = SketchWireKind::kFull;
+  size_t last_size_ = 0;
+  uint64_t last_checksum_ = 0;
+  uint64_t duplicates_absorbed_ = 0;
 };
 
 }  // namespace ecm

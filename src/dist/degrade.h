@@ -1,0 +1,275 @@
+// Graceful degradation for the distributed runtime: honest answers from
+// a coordinator whose sites are down, flapping, or lagging.
+//
+// The fault-free protocol merges one fresh snapshot per site, so a point
+// query carries the §5.1-calibrated guarantee eps_q * ||a||_1. During an
+// outage the coordinator only has *last-known-good* snapshots for some
+// sites — silently merging them reports the fault-free bound for an
+// answer that is missing every arrival since each stale snapshot's
+// clock. DegradingMergeView makes that gap explicit instead: it retains
+// the best (max event-clock) snapshot per site, tracks per-site
+// staleness against the query clock, and answers according to a
+// DegradationPolicy:
+//
+//   kFailClosed          refuse (kUnavailable) unless every site is
+//                        fresh — correctness over availability;
+//   kServeStaleWithBound answer from everything retained, *inflating*
+//                        the reported error bound by the mass the stale
+//                        sites may have absorbed since their snapshots;
+//   kExcludeSite         answer from fresh sites only, widening the
+//                        bound by the excluded sites' possible mass.
+//
+// The inflation is an honest worst case under one declared workload
+// assumption, DegradationOptions::max_rate_per_site: no site ingests
+// more than `rate` arrivals per timestamp tick (weighted mass counts
+// with weight). With integer timestamps, the arrivals a site may have
+// seen in (t_snap, now] that also land in the query window of length
+// `range` are then at most rate * min(now - t_snap, range), and an
+// excluded site contributes at most rate * range. The sketch term uses
+// the existing multi-level calibration (aggregation_tree.h): the flat
+// merge is one level, so eps_q = eps_cm + MultiLevelErrorBound(eps_sw, 1)
+// and the L1 read off the merged sketch is itself an estimate, upper-
+// bounded by L1_est / (1 - eps_q). Every term the bound reports is
+// computable from retained state only — no oracle, no peeking.
+//
+// The view is transport-agnostic on purpose: feed it decoded sketches
+// (Coordinator/SketchReceiver output) or serialized images straight off
+// the wire, and feed health transitions from CoordinatorServer's
+// site_status(). See examples/chaos_runtime.cpp for the full loop.
+
+#ifndef ECM_DIST_DEGRADE_H_
+#define ECM_DIST_DEGRADE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/ecm_sketch.h"
+#include "src/dist/aggregation_tree.h"
+#include "src/dist/serialize.h"
+#include "src/dist/transport.h"
+#include "src/util/result.h"
+
+namespace ecm {
+
+/// What a coordinator does with queries while sites are stale or gone.
+enum class DegradationPolicy : uint8_t {
+  kFailClosed = 0,           ///< refuse unless every site is fresh
+  kServeStaleWithBound = 1,  ///< serve everything retained, inflate bound
+  kExcludeSite = 2,          ///< serve fresh sites only, inflate bound
+};
+
+struct DegradationOptions {
+  DegradationPolicy policy = DegradationPolicy::kServeStaleWithBound;
+  /// A snapshot is stale when the query clock has moved more than this
+  /// many ticks past its event clock. 0 means snapshots never age out
+  /// (only missing snapshots / SetHealth(false) degrade a site).
+  uint64_t stale_after = 0;
+  /// Declared workload ceiling: no site ingests more than this much
+  /// mass per timestamp tick. The staleness slack in the bound is
+  /// rate * (ticks possibly unseen); with rate 0 the bound only covers
+  /// sketch error, which is honest only for genuinely idle streams.
+  double max_rate_per_site = 0.0;
+};
+
+/// Degradation bookkeeping for one site, as of a query clock.
+struct SiteSnapshotMeta {
+  NodeId node = 0;
+  bool has_snapshot = false;
+  bool healthy = true;       ///< last SetHealth() report
+  bool fresh = false;        ///< healthy + snapshot inside stale_after
+  Timestamp snapshot_clock = 0;
+};
+
+/// A degraded (or clean) answer with its honest absolute error bound.
+struct DegradedEstimate {
+  double estimate = 0.0;
+  /// estimate ± error_bound covers the true count under the declared
+  /// rate ceiling: sketch_error + staleness_slack.
+  double error_bound = 0.0;
+  double sketch_error = 0.0;     ///< eps_q * L1 upper bound term
+  double staleness_slack = 0.0;  ///< unseen-mass term (stale + excluded)
+  bool degraded = false;  ///< any site stale, excluded, or missing
+  int sites_included = 0;
+  int sites_stale = 0;     ///< included but not fresh
+  int sites_excluded = 0;  ///< no snapshot, or excluded by policy
+  Timestamp now = 0;       ///< query clock the answer is relative to
+};
+
+/// Last-known-good merge view over per-site sketch snapshots.
+/// Thread-safe: transport reader threads Update() while a query thread
+/// calls PointQuery(). Snapshots only move forward in event time — a
+/// delayed, reordered older image can never overwrite a newer one.
+template <SlidingWindowCounter Counter>
+class DegradingMergeView {
+ public:
+  explicit DegradingMergeView(const DegradationOptions& opts = {})
+      : opts_(opts) {}
+
+  /// Retains `sketch` as `node`'s last known good state if it is at
+  /// least as advanced (event clock) as what is already held.
+  void Update(NodeId node, const EcmSketch<Counter>& sketch) {
+    std::lock_guard<std::mutex> lk(mu_);
+    Entry& e = FindOrCreateLocked(node);
+    if (e.sketch.has_value() && sketch.Now() < e.sketch->Now()) return;
+    e.sketch.emplace(sketch);
+  }
+
+  /// Decodes a serialized full snapshot off the wire and retains it.
+  Status UpdateSerialized(NodeId node, const uint8_t* data, size_t size) {
+    auto sketch = DeserializeSketch<Counter>(data, size);
+    if (!sketch.ok()) return sketch.status();
+    Update(node, *sketch);
+    return Status::OK();
+  }
+
+  /// Health report from liveness tracking (CoordinatorServer sweeper).
+  /// An unhealthy site is never fresh, whatever its snapshot age.
+  void SetHealth(NodeId node, bool up) {
+    std::lock_guard<std::mutex> lk(mu_);
+    FindOrCreateLocked(node).healthy = up;
+  }
+
+  /// The most advanced event clock across retained snapshots — the
+  /// natural query clock when the coordinator has no stream of its own.
+  Timestamp LatestClock() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    Timestamp latest = 0;
+    for (const Entry& e : entries_) {
+      if (e.sketch.has_value()) latest = std::max(latest, e.sketch->Now());
+    }
+    return latest;
+  }
+
+  /// Point query at clock `now` over the trailing `range` ticks,
+  /// answered per the configured policy with an honest inflated bound.
+  Result<DegradedEstimate> PointQuery(uint64_t key, uint64_t range,
+                                      Timestamp now) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (entries_.empty()) {
+      return Status::Unavailable("DegradingMergeView: no sites registered");
+    }
+    DegradedEstimate out;
+    out.now = now;
+    std::vector<const EcmSketch<Counter>*> included;
+    std::vector<Timestamp> included_clocks;
+    for (const Entry& e : entries_) {
+      const bool fresh = IsFreshLocked(e, now);
+      if (!e.sketch.has_value()) {
+        // Nothing retained for this site: under kFailClosed that is
+        // fatal; otherwise its whole window mass goes into the slack.
+        if (opts_.policy == DegradationPolicy::kFailClosed) {
+          return Status::Unavailable(
+              "DegradingMergeView: no snapshot from site " +
+              std::to_string(e.node));
+        }
+        ++out.sites_excluded;
+        continue;
+      }
+      if (!fresh && opts_.policy == DegradationPolicy::kFailClosed) {
+        return Status::Unavailable("DegradingMergeView: site " +
+                                   std::to_string(e.node) + " is stale");
+      }
+      if (!fresh && opts_.policy == DegradationPolicy::kExcludeSite) {
+        ++out.sites_excluded;
+        continue;
+      }
+      if (!fresh) ++out.sites_stale;
+      included.push_back(&*e.sketch);
+      included_clocks.push_back(e.sketch->Now());
+    }
+    if (included.empty()) {
+      return Status::Unavailable(
+          "DegradingMergeView: no fresh site snapshots to serve from");
+    }
+    out.sites_included = static_cast<int>(included.size());
+    out.degraded = out.sites_stale > 0 || out.sites_excluded > 0;
+
+    const EcmConfig& cfg = included.front()->config();
+    auto merged =
+        EcmSketch<Counter>::Merge(included, cfg.epsilon_sw, cfg.seed);
+    if (!merged.ok()) return merged.status();
+    out.estimate = merged->PointQueryAt(key, range, now);
+
+    // Sketch term: the flat merge is one aggregation level, so the
+    // window error calibrates as MultiLevelErrorBound(eps_sw, 1) on top
+    // of the Count-Min share; the L1 it scales is itself an estimate,
+    // upper-bounded by the same relative error.
+    const double eps_q =
+        cfg.epsilon_cm + MultiLevelErrorBound(cfg.epsilon_sw, 1);
+    const double l1 = merged->EstimateL1At(range, now);
+    const double l1_upper = eps_q < 1.0 ? l1 / (1.0 - eps_q) : l1;
+    out.sketch_error = eps_q * l1_upper;
+
+    // Staleness slack: every included site may have absorbed mass after
+    // its snapshot (even "fresh" ones are behind `now`), and every
+    // excluded/missing site may have put its whole window mass on this
+    // key. All of it is bounded by the declared per-tick rate ceiling.
+    double slack = 0.0;
+    for (const Timestamp clock : included_clocks) {
+      const uint64_t behind = now > clock ? now - clock : 0;
+      slack += opts_.max_rate_per_site *
+               static_cast<double>(std::min<uint64_t>(behind, range));
+    }
+    slack += opts_.max_rate_per_site * static_cast<double>(range) *
+             static_cast<double>(out.sites_excluded);
+    out.staleness_slack = slack;
+    out.error_bound = out.sketch_error + out.staleness_slack;
+    return out;
+  }
+
+  /// Per-site degradation bookkeeping as of query clock `now`.
+  std::vector<SiteSnapshotMeta> site_meta(Timestamp now) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<SiteSnapshotMeta> out;
+    out.reserve(entries_.size());
+    for (const Entry& e : entries_) {
+      SiteSnapshotMeta m;
+      m.node = e.node;
+      m.has_snapshot = e.sketch.has_value();
+      m.healthy = e.healthy;
+      m.fresh = IsFreshLocked(e, now);
+      m.snapshot_clock = e.sketch.has_value() ? e.sketch->Now() : 0;
+      out.push_back(m);
+    }
+    return out;
+  }
+
+  const DegradationOptions& options() const { return opts_; }
+
+ private:
+  struct Entry {
+    NodeId node = 0;
+    bool healthy = true;
+    std::optional<EcmSketch<Counter>> sketch;
+  };
+
+  Entry& FindOrCreateLocked(NodeId node) {
+    for (Entry& e : entries_) {
+      if (e.node == node) return e;
+    }
+    entries_.push_back(Entry{});
+    entries_.back().node = node;
+    return entries_.back();
+  }
+
+  bool IsFreshLocked(const Entry& e, Timestamp now) const {
+    if (!e.sketch.has_value() || !e.healthy) return false;
+    if (opts_.stale_after == 0) return true;
+    const Timestamp clock = e.sketch->Now();
+    return now <= clock || now - clock <= opts_.stale_after;
+  }
+
+  const DegradationOptions opts_;
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ecm
+
+#endif  // ECM_DIST_DEGRADE_H_

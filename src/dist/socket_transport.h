@@ -38,6 +38,8 @@
 #ifndef ECM_DIST_SOCKET_TRANSPORT_H_
 #define ECM_DIST_SOCKET_TRANSPORT_H_
 
+#include <sys/socket.h>
+
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -51,6 +53,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/dist/fault.h"
 #include "src/dist/network_stats.h"
 #include "src/dist/transport.h"
 #include "src/util/result.h"
@@ -132,9 +135,31 @@ class SocketTransport final : public Transport {
     size_t max_queue_bytes = 8u << 20;    ///< backpressure bound (bytes)
     size_t max_batch_bytes = 256u << 10;  ///< coalescing cap per write
     uint64_t heartbeat_period_ms = 250;   ///< 0 disables idle heartbeats
-    int connect_attempts = 40;            ///< retries while the server boots
-    uint64_t connect_retry_ms = 250;      ///< delay between attempts
+    int connect_attempts = 40;            ///< dials while the server boots
+    /// Exponential-backoff schedule with deterministic jitter, shared by
+    /// the initial Connect() dial loop and in-transport reconnects
+    /// (replaces the old fixed connect_retry_ms sleep).
+    BackoffPolicy backoff{/*initial_ms=*/10, /*max_ms=*/1000,
+                          /*multiplier=*/2.0, /*jitter=*/0.2, /*seed=*/1};
+    /// Reconnect dials per outage before the transport gives up with a
+    /// sticky kUnavailable. 0 disables in-transport reconnection (a
+    /// retryable write failure is then terminal, the pre-PR-9 behavior).
+    int reconnect_attempts = 8;
     uint32_t epoch = 1;  ///< announced in kHello; > 1 flags a rejoin
+    /// Optional deterministic fault schedule applied to outgoing
+    /// application frames (never kHello/kHeartbeat/kDone): drops,
+    /// payload bit-flips, byte-identical duplicates, delay-reordering
+    /// and mid-stream connection severs. Not owned; may be shared.
+    const FaultPlan* fault_plan = nullptr;
+  };
+
+  /// Wire-level faults this transport injected (fault_plan only).
+  struct FaultCounters {
+    uint64_t drops = 0;
+    uint64_t duplicates = 0;
+    uint64_t corrupts = 0;
+    uint64_t delays = 0;
+    uint64_t severs = 0;
   };
 
   /// Connects to `host:port`, announces `self` with a kHello frame and
@@ -163,44 +188,88 @@ class SocketTransport final : public Transport {
   Status SendPayload(FrameType type, NodeId to,
                      std::vector<uint8_t> payload);
 
-  /// Blocks until every queued frame has been written to the socket.
-  Status Flush();
+  /// Blocks until every queued frame (fault-delayed ones included) has
+  /// been written to the socket. `timeout_ms == 0` waits forever;
+  /// otherwise returns kDeadlineExceeded when the queue has not drained
+  /// in time (retryable: the sender may still be healing the link).
+  Status Flush(uint64_t timeout_ms = 0);
 
   NetworkStats stats() const override;
 
   /// Physical bytes written: payloads plus framing and control frames.
   uint64_t wire_bytes() const;
 
-  /// First send/connection error, OK while healthy.
+  /// First *terminal* send/connection error, OK while healthy. Outages
+  /// the reconnect machinery healed (or is still healing) never show
+  /// here — only retry exhaustion and fatal classifications stick.
   Status status() const;
 
   NodeId node() const { return node_; }
 
+  /// Epoch announced in the most recent kHello. Starts at
+  /// Options::epoch; every in-transport reconnect re-hellos with the
+  /// next epoch, so a caller shipping compressed sketches re-bases its
+  /// SketchSender when this advances (see examples/multiproc_runtime).
+  uint32_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
+  /// Successful in-transport reconnects (link outages healed).
+  uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+
+  FaultCounters fault_counters() const;
+
  private:
-  SocketTransport(int fd, NodeId self, const Options& options);
+  /// One queued, already-encoded frame. `sever_after` marks a frame the
+  /// fault plan kills the connection behind (after it reaches the wire).
+  struct Entry {
+    std::vector<uint8_t> bytes;
+    bool sever_after = false;
+  };
 
-  /// Enqueues one encoded frame, blocking on the backpressure bound.
-  Status Enqueue(std::vector<uint8_t> encoded);
+  SocketTransport(int fd, NodeId self, const sockaddr_storage& addr,
+                  const Options& options);
 
-  /// Sender-thread main loop: coalesce + write, idle heartbeats.
+  /// Applies the fault plan (when any) and enqueues the frame, blocking
+  /// on the backpressure bound.
+  Status EnqueueFramed(Frame&& frame);
+
+  /// Enqueues entries verbatim, blocking on the backpressure bound.
+  Status EnqueueEntries(std::vector<Entry> entries);
+
+  /// Moves every still-delayed fault frame into the send queue.
+  void ReleaseAllDelayedLocked();
+
+  /// Sender-thread main loop: coalesce + write, idle heartbeats,
+  /// backoff reconnect on retryable failures.
   void SenderLoop();
+
+  /// Backoff + dial + re-hello under a fresh epoch. Called from the
+  /// sender thread with `lk` held; drops it around slow operations.
+  Status ReconnectLocked(std::unique_lock<std::mutex>& lk);
 
   const Options options_;
   const NodeId node_;
   int fd_ = -1;
+  sockaddr_storage addr_{};  ///< server address, kept for reconnects
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;   ///< signals the sender thread
   std::condition_variable space_cv_;   ///< wakes blocked producers
-  std::deque<std::vector<uint8_t>> queue_;
+  std::deque<Entry> queue_;
   size_t queued_bytes_ = 0;
   bool stop_ = false;
-  Status error_;  ///< sticky first failure
+  Status error_;  ///< sticky first terminal failure
   uint64_t next_seq_ = 0;
+  uint64_t fault_index_ = 0;  ///< faultable frames sent (plan coordinate)
+  std::deque<std::pair<uint64_t, Entry>> delayed_;  ///< (release_index, frame)
+  FaultCounters fault_counters_;
 
   std::atomic<uint64_t> payload_messages_{0};
   std::atomic<uint64_t> payload_bytes_{0};
   std::atomic<uint64_t> wire_bytes_{0};
+  std::atomic<uint32_t> epoch_{1};
+  std::atomic<uint64_t> reconnects_{0};
 
   std::thread sender_;
 };
@@ -221,11 +290,22 @@ struct SiteStatus {
   NodeId node = 0;
   SiteHealth health = SiteHealth::kNeverSeen;
   uint32_t epoch = 0;          ///< kHello epoch of the current connection
-  uint32_t joins = 0;          ///< connections seen (>1 means rejoins)
+  uint32_t joins = 0;          ///< connections accepted (>1 means rejoins)
+  uint32_t hello_attempts = 0;  ///< kHello frames seen, refused included
   uint64_t frames = 0;         ///< application frames received
   uint64_t payload_bytes = 0;  ///< application payload volume received
   bool done = false;           ///< kDone received on the current epoch
 };
+
+/// The liveness predicate of the sweeper, split out pure so the deadline
+/// boundary is unit-testable without real clocks: a site is expired only
+/// when its silence *strictly exceeds* the timeout — a heartbeat landing
+/// exactly at the deadline keeps it alive. timeout_ms == 0 means any
+/// nonzero silence downs the site.
+inline constexpr bool HeartbeatExpired(uint64_t silent_ms,
+                                       uint64_t timeout_ms) {
+  return silent_ms > timeout_ms;
+}
 
 /// Accepts site connections, decodes frames, tracks per-site liveness
 /// (heartbeat timeouts, crash detection via EOF, rejoin epochs) and hands
@@ -238,6 +318,11 @@ class CoordinatorServer {
   struct Options {
     uint64_t heartbeat_timeout_ms = 2000;  ///< silence before kDown
     uint64_t sweep_period_ms = 50;         ///< liveness sweeper cadence
+    /// Optional deterministic fault schedule: kHello attempts matching
+    /// the plan's hello_refusals are refused (connection closed before
+    /// registration) — a coordinator-side partition the site's
+    /// reconnect/backoff machinery must outlast. Not owned.
+    const FaultPlan* fault_plan = nullptr;
   };
 
   using FrameHandler = std::function<void(const Frame& frame)>;
@@ -277,6 +362,11 @@ class CoordinatorServer {
     return corrupt_streams_.load(std::memory_order_relaxed);
   }
 
+  /// kHello attempts refused by the fault plan.
+  uint64_t hello_refusals() const {
+    return hello_refusals_.load(std::memory_order_relaxed);
+  }
+
   /// Stops accepting, closes every connection and joins all threads.
   /// Safe to call more than once; the destructor calls it.
   void Stop();
@@ -311,6 +401,7 @@ class CoordinatorServer {
   std::atomic<uint64_t> downs_{0};
   std::atomic<uint64_t> rejoins_{0};
   std::atomic<uint64_t> corrupt_streams_{0};
+  std::atomic<uint64_t> hello_refusals_{0};
 
   std::thread acceptor_;
   std::thread sweeper_;

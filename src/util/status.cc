@@ -22,6 +22,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "IO error";
     case StatusCode::kStaleBase:
       return "Stale base";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
   }
   return "Unknown";
 }

@@ -24,8 +24,10 @@ enum class StatusCode : int {
   kOutOfRange = 4,      ///< query range exceeds the configured window
   kCorruption = 5,      ///< malformed serialized bytes
   kInternal = 6,
-  kIOError = 7,         ///< socket/file transfer failure
+  kIOError = 7,         ///< socket/file transfer failure (non-transient)
   kStaleBase = 8,       ///< delta/RLZ image against the wrong base snapshot
+  kUnavailable = 9,     ///< transient peer/link failure; retry may succeed
+  kDeadlineExceeded = 10,  ///< operation did not finish within its deadline
 };
 
 /// Returns a short human-readable name for a StatusCode ("OK",
@@ -71,6 +73,12 @@ class Status {
   static Status StaleBase(std::string msg) {
     return Status(StatusCode::kStaleBase, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   /// True iff the status is OK.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -92,6 +100,15 @@ class Status {
 inline std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
 }
+
+/// True iff retrying the same operation later could plausibly succeed
+/// (transient link loss, missed deadline). Callers holding a retryable
+/// failure should back off and retry; anything else is a terminal error.
+inline bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded;
+}
+inline bool IsRetryable(const Status& s) { return IsRetryable(s.code()); }
 
 /// Propagates a non-OK Status to the caller, Arrow-style.
 #define ECM_RETURN_NOT_OK(expr)            \

@@ -447,6 +447,114 @@ TEST(SketchChannelTest, EpochChangeForcesFullResync) {
   EXPECT_EQ(SerializeSketch(**again), SerializeSketch(local));
 }
 
+// --- at-least-once delivery: duplicates and replays -----------------------
+
+template <typename Counter>
+void DuplicateDeliveryIdempotentImpl(CompressionMode mode) {
+  CompressionOptions opts;
+  opts.mode = mode;
+  SketchSender<Counter> sender(opts);
+  SketchReceiver<Counter> receiver(opts);
+  auto local = MakeSketch<Counter>();
+  Timestamp ts = 1;
+  Feed(&local, 300, 95, &ts);
+
+  // Every image in the conversation is delivered twice back to back —
+  // exactly what the socket layer's post-reconnect retransmit produces.
+  // The second copy must absorb idempotently, never double-merge.
+  uint64_t absorbed = 0;
+  for (int round = 0; round < 8; ++round) {
+    Feed(&local, 40, 96 + static_cast<uint64_t>(round), &ts);
+    SketchWireImage img = sender.Ship(local);
+    auto first =
+        receiver.Receive(img.kind, img.bytes.data(), img.bytes.size());
+    ASSERT_TRUE(first.ok()) << first.status();
+    auto dup =
+        receiver.Receive(img.kind, img.bytes.data(), img.bytes.size());
+    ASSERT_TRUE(dup.ok()) << dup.status();
+    ++absorbed;
+    EXPECT_EQ(receiver.duplicates_absorbed(), absorbed);
+    ASSERT_EQ(SerializeSketch(**dup), SerializeSketch(local))
+        << "round " << round << " kind " << SketchWireKindName(img.kind);
+  }
+}
+
+TEST(SketchChannelTest, DuplicateDeliveryIdempotentFullEh) {
+  DuplicateDeliveryIdempotentImpl<ExponentialHistogram>(
+      CompressionMode::kFull);
+}
+TEST(SketchChannelTest, DuplicateDeliveryIdempotentDeltaEh) {
+  DuplicateDeliveryIdempotentImpl<ExponentialHistogram>(
+      CompressionMode::kDelta);
+}
+TEST(SketchChannelTest, DuplicateDeliveryIdempotentRlzEh) {
+  DuplicateDeliveryIdempotentImpl<ExponentialHistogram>(CompressionMode::kRlz);
+}
+TEST(SketchChannelTest, DuplicateDeliveryIdempotentDeltaRw) {
+  DuplicateDeliveryIdempotentImpl<RandomizedWave>(CompressionMode::kDelta);
+}
+
+TEST(SketchChannelTest, OlderReplayStillRejectsStaleBase) {
+  // Only the *immediately preceding* image is absorbed as a duplicate; a
+  // replay from further back is a stale base and must reject without
+  // touching the receiver's state.
+  CompressionOptions opts;
+  opts.mode = CompressionMode::kDelta;
+  SketchSender<ExponentialHistogram> sender(opts);
+  SketchReceiver<ExponentialHistogram> receiver(opts);
+  auto local = MakeSketch<ExponentialHistogram>();
+  Timestamp ts = 1;
+  Feed(&local, 300, 97, &ts);
+  SketchWireImage full = sender.Ship(local);
+  ASSERT_TRUE(
+      receiver.Receive(full.kind, full.bytes.data(), full.bytes.size()).ok());
+
+  Feed(&local, 40, 98, &ts);
+  SketchWireImage d1 = sender.Ship(local);
+  ASSERT_EQ(d1.kind, SketchWireKind::kDelta);
+  ASSERT_TRUE(receiver.Receive(d1.kind, d1.bytes.data(), d1.bytes.size()).ok());
+
+  Feed(&local, 40, 99, &ts);
+  SketchWireImage d2 = sender.Ship(local);
+  ASSERT_TRUE(receiver.Receive(d2.kind, d2.bytes.data(), d2.bytes.size()).ok());
+  const std::vector<uint8_t> settled = SerializeSketch(*receiver.sketch());
+
+  // d1 is two images back now: not a duplicate, a stale replay.
+  auto replay = receiver.Receive(d1.kind, d1.bytes.data(), d1.bytes.size());
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), StatusCode::kStaleBase);
+  EXPECT_EQ(receiver.duplicates_absorbed(), 0u);
+  EXPECT_EQ(SerializeSketch(*receiver.sketch()), settled);
+
+  // The channel keeps working after the rejected replay.
+  Feed(&local, 40, 100, &ts);
+  SketchWireImage d3 = sender.Ship(local);
+  auto got = receiver.Receive(d3.kind, d3.bytes.data(), d3.bytes.size());
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(SerializeSketch(**got), SerializeSketch(local));
+}
+
+TEST(SketchChannelTest, ResetClearsDuplicateFingerprint) {
+  // After a Reset (rejoin teardown) the first image of the new
+  // conversation must never be mistaken for a duplicate of the old one.
+  CompressionOptions opts;
+  opts.mode = CompressionMode::kFull;
+  SketchSender<ExponentialHistogram> sender(opts);
+  SketchReceiver<ExponentialHistogram> receiver(opts);
+  auto local = MakeSketch<ExponentialHistogram>();
+  Timestamp ts = 1;
+  Feed(&local, 200, 101, &ts);
+  SketchWireImage img = sender.Ship(local);
+  ASSERT_TRUE(
+      receiver.Receive(img.kind, img.bytes.data(), img.bytes.size()).ok());
+  receiver.Reset();
+  auto again = receiver.Receive(img.kind, img.bytes.data(), img.bytes.size());
+  ASSERT_TRUE(again.ok()) << again.status();
+  // Applied for real, not absorbed: the fingerprint died with the reset.
+  EXPECT_EQ(receiver.duplicates_absorbed(), 0u);
+  EXPECT_EQ(SerializeSketch(**again), SerializeSketch(local));
+}
+
 TEST(SketchChannelTest, SenderResetRebasesWithFullImage) {
   CompressionOptions opts;
   opts.mode = CompressionMode::kDelta;

@@ -1,0 +1,278 @@
+// Tests for graceful degradation (dist/degrade.h):
+//  * policy dispatch — kFailClosed refuses on any missing/stale site,
+//    kExcludeSite serves from fresh sites only, kServeStaleWithBound
+//    serves everything retained; all three agree on the clean path;
+//  * honest bounds — on a hand-built deterministic outage the reported
+//    error_bound covers |estimate - exact truth| under the declared
+//    per-site rate ceiling, and inflates with staleness/exclusion;
+//  * snapshot retention — the max-event-clock guard never lets a
+//    delayed older image overwrite a newer one; SetHealth flips
+//    freshness; UpdateSerialized decodes wire images and rejects
+//    corrupt ones.
+
+#include "src/dist/degrade.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/ecm_sketch.h"
+#include "src/dist/serialize.h"
+#include "src/util/status.h"
+#include "src/window/exponential_histogram.h"
+#include "src/window/randomized_wave.h"
+
+namespace ecm {
+namespace {
+
+template <typename Counter>
+EcmSketch<Counter> MakeSketch(uint64_t seed = 7) {
+  auto sketch = EcmSketch<Counter>::Create(0.1, 0.1, WindowMode::kTimeBased,
+                                           200, seed);
+  EXPECT_TRUE(sketch.ok()) << sketch.status();
+  return std::move(*sketch);
+}
+
+/// One arrival of `key` per tick over [1, last_ts] — rate exactly 1.
+template <typename Counter>
+void FeedOnePerTick(EcmSketch<Counter>* sketch, uint64_t key,
+                    Timestamp last_ts) {
+  for (Timestamp ts = 1; ts <= last_ts; ++ts) sketch->Add(key, ts);
+}
+
+constexpr uint64_t kKey = 42;
+
+TEST(DegradeTest, NoSitesRegisteredIsUnavailable) {
+  DegradingMergeView<ExponentialHistogram> view;
+  auto r = view.PointQuery(kKey, 100, 10);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(IsRetryable(r.status()));
+}
+
+TEST(DegradeTest, HealthKnownButNoSnapshotYet) {
+  // A site the server knows about (health report arrived) but whose
+  // first snapshot has not: kFailClosed refuses; the serving policies
+  // have nothing to merge, which is also a refusal.
+  DegradationOptions opts;
+  opts.policy = DegradationPolicy::kFailClosed;
+  DegradingMergeView<ExponentialHistogram> closed(opts);
+  closed.SetHealth(0, true);
+  EXPECT_EQ(closed.PointQuery(kKey, 100, 10).status().code(),
+            StatusCode::kUnavailable);
+
+  DegradingMergeView<ExponentialHistogram> open;  // serve-stale default
+  open.SetHealth(0, true);
+  EXPECT_EQ(open.PointQuery(kKey, 100, 10).status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(DegradeTest, CleanPathMatchesDirectMergeForAllPolicies) {
+  auto s0 = MakeSketch<ExponentialHistogram>();
+  auto s1 = MakeSketch<ExponentialHistogram>();
+  FeedOnePerTick(&s0, kKey, 100);
+  FeedOnePerTick(&s1, kKey, 100);
+  const std::vector<const EcmSketch<ExponentialHistogram>*> ptrs{&s0, &s1};
+  const EcmConfig& cfg = s0.config();
+  auto merged = EcmSketch<ExponentialHistogram>::Merge(ptrs, cfg.epsilon_sw,
+                                                       cfg.seed);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  const double direct = merged->PointQueryAt(kKey, 200, 100);
+
+  for (DegradationPolicy policy :
+       {DegradationPolicy::kFailClosed, DegradationPolicy::kServeStaleWithBound,
+        DegradationPolicy::kExcludeSite}) {
+    DegradationOptions opts;
+    opts.policy = policy;
+    opts.max_rate_per_site = 1.0;
+    DegradingMergeView<ExponentialHistogram> view(opts);
+    view.Update(0, s0);
+    view.Update(1, s1);
+    auto r = view.PointQuery(kKey, 200, 100);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_DOUBLE_EQ(r->estimate, direct);
+    EXPECT_FALSE(r->degraded);
+    EXPECT_EQ(r->sites_included, 2);
+    EXPECT_EQ(r->sites_stale, 0);
+    EXPECT_EQ(r->sites_excluded, 0);
+    // Every retained snapshot is at the query clock: zero slack, the
+    // bound is pure sketch error and it is strictly positive.
+    EXPECT_DOUBLE_EQ(r->staleness_slack, 0.0);
+    EXPECT_GT(r->sketch_error, 0.0);
+    EXPECT_DOUBLE_EQ(r->error_bound, r->sketch_error);
+  }
+}
+
+TEST(DegradeTest, StaleSitePolicyDispatch) {
+  // Site 0 is current (clock 100); site 1's last snapshot is from clock
+  // 60 — an outage 40 ticks long against stale_after = 10.
+  auto s0 = MakeSketch<ExponentialHistogram>();
+  auto s1 = MakeSketch<ExponentialHistogram>();
+  FeedOnePerTick(&s0, kKey, 100);
+  FeedOnePerTick(&s1, kKey, 60);
+  const double truth = 100 + 60;  // one arrival per tick per site
+
+  DegradationOptions opts;
+  opts.stale_after = 10;
+  opts.max_rate_per_site = 1.0;
+
+  {
+    opts.policy = DegradationPolicy::kFailClosed;
+    DegradingMergeView<ExponentialHistogram> view(opts);
+    view.Update(0, s0);
+    view.Update(1, s1);
+    auto r = view.PointQuery(kKey, 200, 100);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  }
+  {
+    opts.policy = DegradationPolicy::kServeStaleWithBound;
+    DegradingMergeView<ExponentialHistogram> view(opts);
+    view.Update(0, s0);
+    view.Update(1, s1);
+    auto r = view.PointQuery(kKey, 200, 100);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_TRUE(r->degraded);
+    EXPECT_EQ(r->sites_included, 2);
+    EXPECT_EQ(r->sites_stale, 1);
+    EXPECT_EQ(r->sites_excluded, 0);
+    // Slack: site 0 is at the clock (0), site 1 may have absorbed
+    // rate * min(100 - 60, 200) = 40 unseen arrivals.
+    EXPECT_DOUBLE_EQ(r->staleness_slack, 40.0);
+    EXPECT_LE(std::abs(r->estimate - truth), r->error_bound);
+  }
+  {
+    opts.policy = DegradationPolicy::kExcludeSite;
+    DegradingMergeView<ExponentialHistogram> view(opts);
+    view.Update(0, s0);
+    view.Update(1, s1);
+    auto r = view.PointQuery(kKey, 200, 100);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_TRUE(r->degraded);
+    EXPECT_EQ(r->sites_included, 1);
+    EXPECT_EQ(r->sites_stale, 0);
+    EXPECT_EQ(r->sites_excluded, 1);
+    // The excluded site may hold up to rate * range window mass.
+    EXPECT_DOUBLE_EQ(r->staleness_slack, 200.0);
+    EXPECT_LE(std::abs(r->estimate - truth), r->error_bound);
+  }
+}
+
+TEST(DegradeTest, ExcludingEverySiteIsUnavailable) {
+  auto s0 = MakeSketch<ExponentialHistogram>();
+  FeedOnePerTick(&s0, kKey, 10);
+  DegradationOptions opts;
+  opts.policy = DegradationPolicy::kExcludeSite;
+  opts.stale_after = 5;
+  DegradingMergeView<ExponentialHistogram> view(opts);
+  view.Update(0, s0);
+  auto r = view.PointQuery(kKey, 200, 100);  // 90 ticks behind
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(DegradeTest, UnhealthySiteIsNeverFresh) {
+  auto s0 = MakeSketch<ExponentialHistogram>();
+  auto s1 = MakeSketch<ExponentialHistogram>();
+  FeedOnePerTick(&s0, kKey, 100);
+  FeedOnePerTick(&s1, kKey, 100);
+  DegradationOptions opts;
+  opts.policy = DegradationPolicy::kExcludeSite;
+  opts.max_rate_per_site = 1.0;
+  DegradingMergeView<ExponentialHistogram> view(opts);
+  view.Update(0, s0);
+  view.Update(1, s1);
+  // Liveness tracking declares site 1 down: its snapshot is at the
+  // query clock yet it must not count as fresh.
+  view.SetHealth(1, false);
+  auto r = view.PointQuery(kKey, 200, 100);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->sites_included, 1);
+  EXPECT_EQ(r->sites_excluded, 1);
+  EXPECT_TRUE(r->degraded);
+  // Recovery restores the clean answer.
+  view.SetHealth(1, true);
+  auto healed = view.PointQuery(kKey, 200, 100);
+  ASSERT_TRUE(healed.ok()) << healed.status();
+  EXPECT_EQ(healed->sites_included, 2);
+  EXPECT_FALSE(healed->degraded);
+}
+
+TEST(DegradeTest, OlderSnapshotNeverOverwritesNewer) {
+  auto current = MakeSketch<ExponentialHistogram>();
+  auto older = MakeSketch<ExponentialHistogram>();
+  FeedOnePerTick(&current, kKey, 80);
+  FeedOnePerTick(&older, kKey, 30);
+  DegradingMergeView<ExponentialHistogram> view;
+  view.Update(0, current);
+  // A delayed, reordered frame delivers the older image late.
+  view.Update(0, older);
+  const auto meta = view.site_meta(80);
+  ASSERT_EQ(meta.size(), 1u);
+  EXPECT_EQ(meta[0].snapshot_clock, 80u);
+  EXPECT_EQ(view.LatestClock(), 80u);
+  // An equal-clock image (idempotent redelivery) is accepted.
+  view.Update(0, current);
+  EXPECT_EQ(view.site_meta(80)[0].snapshot_clock, 80u);
+}
+
+TEST(DegradeTest, LatestClockTracksMostAdvancedSite) {
+  auto s0 = MakeSketch<ExponentialHistogram>();
+  auto s1 = MakeSketch<ExponentialHistogram>();
+  FeedOnePerTick(&s0, kKey, 33);
+  FeedOnePerTick(&s1, kKey, 77);
+  DegradingMergeView<ExponentialHistogram> view;
+  EXPECT_EQ(view.LatestClock(), 0u);
+  view.Update(0, s0);
+  EXPECT_EQ(view.LatestClock(), 33u);
+  view.Update(1, s1);
+  EXPECT_EQ(view.LatestClock(), 77u);
+}
+
+TEST(DegradeTest, UpdateSerializedDecodesWireImages) {
+  auto s0 = MakeSketch<RandomizedWave>();
+  FeedOnePerTick(&s0, kKey, 50);
+  const std::vector<uint8_t> image = SerializeSketch(s0);
+
+  DegradingMergeView<RandomizedWave> view;
+  ASSERT_TRUE(view.UpdateSerialized(0, image.data(), image.size()).ok());
+  EXPECT_EQ(view.LatestClock(), 50u);
+  auto r = view.PointQuery(kKey, 200, 50);
+  ASSERT_TRUE(r.ok()) << r.status();
+
+  // Equivalent to the in-memory Update path.
+  DegradingMergeView<RandomizedWave> direct;
+  direct.Update(0, s0);
+  auto d = direct.PointQuery(kKey, 200, 50);
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_DOUBLE_EQ(r->estimate, d->estimate);
+  EXPECT_DOUBLE_EQ(r->error_bound, d->error_bound);
+
+  // Corrupt images reject without disturbing retained state.
+  std::vector<uint8_t> bad = image;
+  bad[bad.size() / 2] ^= 0x40;
+  EXPECT_FALSE(view.UpdateSerialized(0, bad.data(), bad.size()).ok());
+  EXPECT_EQ(view.LatestClock(), 50u);
+}
+
+TEST(DegradeTest, RateCeilingZeroMeansSketchErrorOnly) {
+  // With no declared ingest rate the slack term honestly collapses to
+  // zero — the bound covers sketch error only (idle-stream assumption).
+  auto s0 = MakeSketch<ExponentialHistogram>();
+  FeedOnePerTick(&s0, kKey, 20);
+  DegradationOptions opts;
+  opts.stale_after = 5;
+  DegradingMergeView<ExponentialHistogram> view(opts);
+  view.Update(0, s0);
+  auto r = view.PointQuery(kKey, 200, 100);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->degraded);
+  EXPECT_EQ(r->sites_stale, 1);
+  EXPECT_DOUBLE_EQ(r->staleness_slack, 0.0);
+  EXPECT_DOUBLE_EQ(r->error_bound, r->sketch_error);
+}
+
+}  // namespace
+}  // namespace ecm

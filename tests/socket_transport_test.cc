@@ -670,5 +670,401 @@ TEST(SocketTransportTest, BoundedQueueStillDeliversEverything) {
             static_cast<uint64_t>(kFrames) * kPayload);
 }
 
+// --- Liveness edge cases ----------------------------------------------------
+
+TEST(HeartbeatExpiredTest, DeadlineBoundaryIsExact) {
+  // A heartbeat landing exactly at the deadline keeps the site alive;
+  // one millisecond past it does not.
+  static_assert(!HeartbeatExpired(0, 100));
+  static_assert(!HeartbeatExpired(100, 100));
+  static_assert(HeartbeatExpired(101, 100));
+  // timeout 0: any nonzero silence downs the site, zero silence does not.
+  static_assert(!HeartbeatExpired(0, 0));
+  static_assert(HeartbeatExpired(1, 0));
+  EXPECT_FALSE(HeartbeatExpired(2000, 2000));
+  EXPECT_TRUE(HeartbeatExpired(2001, 2000));
+}
+
+TEST(SocketTransportTest, ZeroTimeoutDownsAnySilenceAndTrafficRevives) {
+  FrameSink sink;
+  CoordinatorServer::Options copt;
+  copt.heartbeat_timeout_ms = 0;  // any silence at all is an outage
+  copt.sweep_period_ms = 10;
+  auto server = CoordinatorServer::Start(0, copt, sink.handler());
+  ASSERT_TRUE(server.ok());
+
+  SocketTransport::Options topt;
+  topt.heartbeat_period_ms = 0;  // silent site
+  auto client =
+      SocketTransport::Connect("127.0.0.1", (*server)->port(), 6, topt);
+  ASSERT_TRUE(client.ok());
+  // The hello registers the site, then the first sweep already downs it.
+  ASSERT_TRUE(WaitFor(
+      [&] { return (*server)->site(6).health == SiteHealth::kDown; }));
+  EXPECT_GE((*server)->downs(), 1u);
+  EXPECT_EQ((*server)->rejoins(), 0u);
+
+  // Traffic on the same connection revives it without a new hello...
+  std::vector<uint8_t> payload{1, 2, 3};
+  ASSERT_TRUE((*client)
+                  ->SendPayload(FrameType::kBlob, kCoordinatorNode, payload)
+                  .ok());
+  ASSERT_TRUE(WaitFor(
+      [&] { return (*server)->site(6).health == SiteHealth::kUp; }));
+  EXPECT_EQ((*server)->site(6).joins, 1u);
+  EXPECT_EQ((*server)->rejoins(), 0u);
+  // ... and the next silent sweep downs it again: flapping without churn.
+  ASSERT_TRUE(WaitFor(
+      [&] { return (*server)->site(6).health == SiteHealth::kDown; }));
+  EXPECT_GE((*server)->downs(), 2u);
+}
+
+TEST(SocketTransportTest, TimeoutSmallerThanHeartbeatPeriodFlaps) {
+  // Misconfiguration the liveness layer must survive: the site beacons
+  // slower than the coordinator's patience, so it flaps down between
+  // beats and revives on each one — never a rejoin, never a join churn.
+  FrameSink sink;
+  CoordinatorServer::Options copt;
+  copt.heartbeat_timeout_ms = 50;
+  copt.sweep_period_ms = 10;
+  auto server = CoordinatorServer::Start(0, copt, sink.handler());
+  ASSERT_TRUE(server.ok());
+
+  SocketTransport::Options topt;
+  topt.heartbeat_period_ms = 150;  // 3x the coordinator's timeout
+  auto client =
+      SocketTransport::Connect("127.0.0.1", (*server)->port(), 7, topt);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(WaitFor([&] { return (*server)->downs() >= 2; }));
+  EXPECT_EQ((*server)->rejoins(), 0u);
+  EXPECT_EQ((*server)->site(7).joins, 1u);
+  // The connection itself stayed healthy through the flapping.
+  EXPECT_TRUE((*client)->status().ok());
+  EXPECT_EQ((*client)->reconnects(), 0u);
+}
+
+TEST(SocketTransportTest, FlappingFasterThanSweeperIsCountedViaEof) {
+  // The sweeper is nearly asleep (10 s cadence): down transitions for
+  // these flaps can only come from the EOF path, and every one must be
+  // counted even though no sweep runs between them.
+  FrameSink sink;
+  CoordinatorServer::Options copt;
+  copt.heartbeat_timeout_ms = 10'000;
+  copt.sweep_period_ms = 10'000;
+  auto server = CoordinatorServer::Start(0, copt, sink.handler());
+  ASSERT_TRUE(server.ok());
+
+  constexpr int kFlaps = 3;
+  for (int i = 0; i < kFlaps; ++i) {
+    SocketTransport::Options topt;
+    topt.heartbeat_period_ms = 0;
+    topt.epoch = static_cast<uint32_t>(i + 1);
+    auto client =
+        SocketTransport::Connect("127.0.0.1", (*server)->port(), 8, topt);
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(WaitFor(
+        [&] { return (*server)->site(8).health == SiteHealth::kUp; }));
+    client->reset();  // abrupt close, no kDone: a crash, not a clean exit
+    ASSERT_TRUE(WaitFor(
+        [&] { return (*server)->site(8).health == SiteHealth::kDown; }));
+  }
+  SiteStatus st = (*server)->site(8);
+  EXPECT_EQ(st.joins, static_cast<uint32_t>(kFlaps));
+  EXPECT_EQ((*server)->rejoins(), static_cast<uint64_t>(kFlaps - 1));
+  EXPECT_EQ((*server)->downs(), static_cast<uint64_t>(kFlaps));
+  EXPECT_EQ(st.epoch, static_cast<uint32_t>(kFlaps));
+}
+
+// --- In-transport reconnect -------------------------------------------------
+
+TEST(SocketTransportTest, ReconnectHealsAcrossServerRestart) {
+  SocketTransport::Options topt;
+  topt.heartbeat_period_ms = 20;  // beacons detect the dead link fast
+  topt.reconnect_attempts = 50;
+  topt.backoff = BackoffPolicy{/*initial_ms=*/10, /*max_ms=*/80,
+                               /*multiplier=*/2.0, /*jitter=*/0.2,
+                               /*seed=*/3};
+
+  FrameSink sink_a;
+  int port = 0;
+  std::unique_ptr<SocketTransport> client;
+  {
+    auto server_a = CoordinatorServer::Start(0, CoordinatorServer::Options{},
+                                             sink_a.handler());
+    ASSERT_TRUE(server_a.ok());
+    port = (*server_a)->port();
+    auto connected = SocketTransport::Connect("127.0.0.1", port, 5, topt);
+    ASSERT_TRUE(connected.ok());
+    client = std::move(*connected);
+    std::vector<uint8_t> payload{1, 1, 2, 3, 5};
+    ASSERT_TRUE(client->SendPayload(FrameType::kBlob, kCoordinatorNode,
+                                    payload)
+                    .ok());
+    ASSERT_TRUE(client->Flush().ok());
+    ASSERT_TRUE(sink_a.WaitForCount(1));
+    // Coordinator crashes: server torn down, port released.
+  }
+
+  // Restart on the same port. The bind can transiently refuse while the
+  // old listener drains, so retry.
+  FrameSink sink_b;
+  std::unique_ptr<CoordinatorServer> server_b;
+  ASSERT_TRUE(WaitFor([&] {
+    auto restarted = CoordinatorServer::Start(
+        port, CoordinatorServer::Options{}, sink_b.handler());
+    if (!restarted.ok()) return false;
+    server_b = std::move(*restarted);
+    return true;
+  }));
+
+  // The transport heals on its own: heartbeat writes fail, the backoff
+  // dial loop lands on the reborn coordinator, a fresh-epoch hello
+  // re-registers the site.
+  ASSERT_TRUE(WaitFor([&] { return client->reconnects() >= 1; }));
+  ASSERT_TRUE(WaitFor(
+      [&] { return server_b->site(5).health == SiteHealth::kUp; }));
+  EXPECT_TRUE(client->status().ok());
+  EXPECT_GE(client->epoch(), 2u);
+  EXPECT_EQ(server_b->site(5).epoch, client->epoch());
+
+  // The healed link carries traffic end to end.
+  std::vector<uint8_t> payload{8, 13, 21};
+  ASSERT_TRUE(
+      client->SendPayload(FrameType::kBlob, kCoordinatorNode, payload).ok());
+  ASSERT_TRUE(client->Flush().ok());
+  ASSERT_TRUE(sink_b.WaitForCount(1));
+  EXPECT_EQ(sink_b.frames()[0].payload, payload);
+}
+
+TEST(SocketTransportTest, FlushTimesOutWhileLinkIsDown) {
+  SocketTransport::Options topt;
+  topt.heartbeat_period_ms = 0;
+  topt.reconnect_attempts = 1000;  // keep healing well past the Flush
+  topt.backoff = BackoffPolicy{/*initial_ms=*/100, /*max_ms=*/200,
+                               /*multiplier=*/2.0, /*jitter=*/0.0,
+                               /*seed=*/1};
+  std::unique_ptr<SocketTransport> client;
+  FrameSink sink;
+  {
+    auto server = CoordinatorServer::Start(0, CoordinatorServer::Options{},
+                                           sink.handler());
+    ASSERT_TRUE(server.ok());
+    auto connected =
+        SocketTransport::Connect("127.0.0.1", (*server)->port(), 4, topt);
+    ASSERT_TRUE(connected.ok());
+    client = std::move(*connected);
+  }
+  // The server is gone. The first post-mortem write may still land in
+  // the kernel buffer; the RST it provokes fails the next one for sure.
+  std::vector<uint8_t> payload{42};
+  ASSERT_TRUE(
+      client->SendPayload(FrameType::kBlob, kCoordinatorNode, payload).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(
+      client->SendPayload(FrameType::kBlob, kCoordinatorNode, payload).ok());
+  // The sender is now in its backoff dial loop with frames still queued:
+  // a bounded Flush must report the missed deadline, retryably.
+  Status s = client->Flush(/*timeout_ms=*/150);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(IsRetryable(s));
+}
+
+// --- Wire-level fault injection ---------------------------------------------
+
+TEST(SocketTransportTest, SeverFaultHealsWithoutLosingFrames) {
+  FrameSink sink;
+  auto server =
+      CoordinatorServer::Start(0, CoordinatorServer::Options{}, sink.handler());
+  ASSERT_TRUE(server.ok());
+
+  FaultPlanConfig fcfg;
+  fcfg.sever_p = 1.0;  // the link dies behind every application frame
+  FaultPlan plan(fcfg);
+  SocketTransport::Options topt;
+  topt.heartbeat_period_ms = 0;
+  topt.reconnect_attempts = 20;
+  topt.backoff = BackoffPolicy{/*initial_ms=*/5, /*max_ms=*/40,
+                               /*multiplier=*/2.0, /*jitter=*/0.0,
+                               /*seed=*/2};
+  topt.fault_plan = &plan;
+  auto client =
+      SocketTransport::Connect("127.0.0.1", (*server)->port(), 9, topt);
+  ASSERT_TRUE(client.ok());
+
+  constexpr int kFrames = 5;
+  for (uint8_t i = 0; i < kFrames; ++i) {
+    ASSERT_TRUE((*client)
+                    ->SendPayload(FrameType::kBlob, kCoordinatorNode,
+                                  std::vector<uint8_t>{i})
+                    .ok());
+  }
+  ASSERT_TRUE((*client)->Flush().ok());
+  ASSERT_TRUE(sink.WaitForCount(kFrames));
+
+  // Every frame reached the wire exactly once, in order, across five
+  // injected outages each healed by an in-transport reconnect.
+  std::vector<Frame> frames = sink.frames();
+  ASSERT_EQ(frames.size(), static_cast<size_t>(kFrames));
+  for (int i = 0; i < kFrames; ++i) {
+    EXPECT_EQ(frames[static_cast<size_t>(i)].payload,
+              std::vector<uint8_t>{static_cast<uint8_t>(i)});
+  }
+  EXPECT_EQ((*client)->fault_counters().severs,
+            static_cast<uint64_t>(kFrames));
+  ASSERT_TRUE(WaitFor([&] {
+    return (*client)->reconnects() == static_cast<uint64_t>(kFrames);
+  }));
+  EXPECT_EQ((*client)->epoch(), 1u + kFrames);
+  EXPECT_TRUE((*client)->status().ok());
+  ASSERT_TRUE(WaitFor(
+      [&] { return (*server)->site(9).epoch == (*client)->epoch(); }));
+  EXPECT_EQ((*server)->rejoins(), static_cast<uint64_t>(kFrames));
+  EXPECT_EQ((*server)->stats().messages, static_cast<uint64_t>(kFrames));
+}
+
+TEST(SocketTransportTest, CorruptFaultPassesFramingFailsAppChecksum) {
+  // The plan flips a payload bit *before* framing: the frame checksum is
+  // valid (the stream survives), and the corruption must be caught by
+  // the application-level dist/serialize checksum instead.
+  FrameSink sink;
+  auto server =
+      CoordinatorServer::Start(0, CoordinatorServer::Options{}, sink.handler());
+  ASSERT_TRUE(server.ok());
+
+  FaultPlanConfig fcfg;
+  fcfg.corrupt_p = 1.0;
+  FaultPlan plan(fcfg);
+  SocketTransport::Options topt;
+  topt.heartbeat_period_ms = 0;
+  topt.fault_plan = &plan;
+  auto client =
+      SocketTransport::Connect("127.0.0.1", (*server)->port(), 2, topt);
+  ASSERT_TRUE(client.ok());
+
+  EcmConfig cfg = SketchCfg(83);
+  EcmSketch<ExponentialHistogram> sketch(cfg);
+  for (const StreamEvent& e : ZipfEvents(2'000, 1, 17)) {
+    sketch.Add(e.key, e.ts);
+  }
+  std::vector<uint8_t> wire = SerializeSketch(sketch);
+  ASSERT_TRUE(
+      (*client)->SendPayload(FrameType::kSketch, kCoordinatorNode, wire).ok());
+  ASSERT_TRUE((*client)->Flush().ok());
+  ASSERT_TRUE(sink.WaitForCount(1));
+
+  EXPECT_EQ((*client)->fault_counters().corrupts, 1u);
+  EXPECT_EQ((*server)->corrupt_streams(), 0u);  // framing passed
+  std::vector<Frame> frames = sink.frames();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_NE(frames[0].payload, wire);
+  auto back = DeserializeSketch<ExponentialHistogram>(frames[0].payload);
+  ASSERT_FALSE(back.ok());  // ... but serialize's checksum catches it
+  EXPECT_EQ(back.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SocketTransportTest, DropAndDelayFaultsAtTheWire) {
+  FrameSink sink;
+  auto server =
+      CoordinatorServer::Start(0, CoordinatorServer::Options{}, sink.handler());
+  ASSERT_TRUE(server.ok());
+
+  // Drops: offered traffic is charged, nothing arrives.
+  FaultPlanConfig drop_cfg;
+  drop_cfg.drop_p = 1.0;
+  FaultPlan drop_plan(drop_cfg);
+  SocketTransport::Options topt;
+  topt.heartbeat_period_ms = 0;
+  topt.fault_plan = &drop_plan;
+  {
+    auto client =
+        SocketTransport::Connect("127.0.0.1", (*server)->port(), 3, topt);
+    ASSERT_TRUE(client.ok());
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE((*client)
+                      ->SendPayload(FrameType::kBlob, kCoordinatorNode,
+                                    std::vector<uint8_t>{1, 2})
+                      .ok());
+    }
+    ASSERT_TRUE((*client)->Flush().ok());
+    EXPECT_EQ((*client)->stats().messages, 4u);  // offered, per PR 5 currency
+    EXPECT_EQ((*client)->fault_counters().drops, 4u);
+  }
+  EXPECT_EQ((*server)->stats().messages, 0u);
+
+  // Delays: reordering, never loss — Flush releases the stragglers.
+  FaultPlanConfig delay_cfg;
+  delay_cfg.delay_p = 1.0;
+  delay_cfg.max_delay_frames = 3;
+  FaultPlan delay_plan(delay_cfg);
+  topt.fault_plan = &delay_plan;
+  auto client =
+      SocketTransport::Connect("127.0.0.1", (*server)->port(), 5, topt);
+  ASSERT_TRUE(client.ok());
+  constexpr int kFrames = 6;
+  for (uint8_t i = 0; i < kFrames; ++i) {
+    ASSERT_TRUE((*client)
+                    ->SendPayload(FrameType::kBlob, kCoordinatorNode,
+                                  std::vector<uint8_t>{i})
+                    .ok());
+  }
+  ASSERT_TRUE((*client)->Flush().ok());
+  ASSERT_TRUE(sink.WaitForCount(kFrames));
+  EXPECT_EQ((*client)->fault_counters().delays,
+            static_cast<uint64_t>(kFrames));
+  std::vector<int> seen(kFrames, 0);
+  for (const Frame& f : sink.frames()) {
+    ASSERT_EQ(f.payload.size(), 1u);
+    ++seen[f.payload[0]];
+  }
+  for (int c : seen) EXPECT_EQ(c, 1);
+}
+
+// --- Coordinator-side hello refusal ----------------------------------------
+
+TEST(SocketTransportTest, HelloRefusalWindowOutlastedByBackoffRetries) {
+  // The coordinator refuses node 7's first two hello attempts (a
+  // partition in attempt space). The site's reconnect machinery must
+  // retry through the window and register on the third attempt.
+  FaultPlanConfig fcfg;
+  fcfg.hello_refusals.push_back(
+      {/*node=*/7, /*refuse_from=*/0, /*refuse_count=*/2});
+  FaultPlan plan(fcfg);
+  FrameSink sink;
+  CoordinatorServer::Options copt;
+  copt.fault_plan = &plan;
+  auto server = CoordinatorServer::Start(0, copt, sink.handler());
+  ASSERT_TRUE(server.ok());
+
+  SocketTransport::Options topt;
+  topt.heartbeat_period_ms = 15;  // beacons surface the refused link fast
+  topt.reconnect_attempts = 30;
+  topt.backoff = BackoffPolicy{/*initial_ms=*/5, /*max_ms=*/40,
+                               /*multiplier=*/2.0, /*jitter=*/0.0,
+                               /*seed=*/4};
+  auto client =
+      SocketTransport::Connect("127.0.0.1", (*server)->port(), 7, topt);
+  ASSERT_TRUE(client.ok());
+
+  ASSERT_TRUE(WaitFor(
+      [&] { return (*server)->site(7).health == SiteHealth::kUp; }));
+  EXPECT_EQ((*server)->hello_refusals(), 2u);
+  SiteStatus st = (*server)->site(7);
+  EXPECT_EQ(st.hello_attempts, 3u);
+  EXPECT_EQ(st.joins, 1u);  // the refused attempts never registered
+  EXPECT_EQ((*server)->rejoins(), 0u);
+  EXPECT_GE((*client)->reconnects(), 2u);
+  EXPECT_GE((*client)->epoch(), 3u);
+  EXPECT_EQ(st.epoch, (*client)->epoch());
+
+  // The admitted link carries traffic.
+  std::vector<uint8_t> payload{7, 7, 7};
+  ASSERT_TRUE(
+      (*client)->SendPayload(FrameType::kBlob, kCoordinatorNode, payload).ok());
+  ASSERT_TRUE((*client)->Flush().ok());
+  ASSERT_TRUE(sink.WaitForCount(1));
+  EXPECT_TRUE((*client)->status().ok());
+}
+
 }  // namespace
 }  // namespace ecm
