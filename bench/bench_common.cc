@@ -18,8 +18,10 @@ bool g_smoke_mode = false;
 
 struct BenchResult {
   std::string name;
-  double events_per_sec;
-  double bytes;
+  double events_per_sec = 0.0;
+  double bytes = 0.0;
+  bool has_latency = false;
+  LatencyStats latency;
 };
 
 std::string g_json_path;
@@ -41,9 +43,14 @@ void FlushBenchJson() {
   for (size_t i = 0; i < results.size(); ++i) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"events_per_sec\": %.1f, "
-                 "\"bytes\": %.0f}%s\n",
+                 "\"bytes\": %.0f",
                  results[i].name.c_str(), results[i].events_per_sec,
-                 results[i].bytes, i + 1 < results.size() ? "," : "");
+                 results[i].bytes);
+    if (results[i].has_latency) {
+      std::fprintf(f, ", \"p50_ns\": %.1f, \"p99_ns\": %.1f",
+                   results[i].latency.p50_ns, results[i].latency.p99_ns);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -70,7 +77,42 @@ bool SmokeMode() { return g_smoke_mode; }
 
 void RecordBenchResult(const std::string& name, double events_per_sec,
                        double bytes) {
-  Results().push_back(BenchResult{name, events_per_sec, bytes});
+  BenchResult r;
+  r.name = name;
+  r.events_per_sec = events_per_sec;
+  r.bytes = bytes;
+  Results().push_back(r);
+}
+
+void RecordBenchResult(const std::string& name, double events_per_sec,
+                       double bytes, const LatencyStats& latency) {
+  BenchResult r;
+  r.name = name;
+  r.events_per_sec = events_per_sec;
+  r.bytes = bytes;
+  r.has_latency = true;
+  r.latency = latency;
+  Results().push_back(r);
+}
+
+LatencySampler::LatencySampler(uint64_t stride)
+    : stride_(stride == 0 ? 1 : stride) {}
+
+bool LatencySampler::ShouldSample() { return tick_++ % stride_ == 0; }
+
+LatencyStats LatencySampler::Stats() const {
+  LatencyStats s;
+  if (samples_.empty()) return s;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  auto pick = [&sorted](double q) {
+    const size_t idx = static_cast<size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+  };
+  s.p50_ns = pick(0.50);
+  s.p99_ns = pick(0.99);
+  return s;
 }
 
 uint64_t ScaledEvents(uint64_t full) {

@@ -35,6 +35,43 @@ bool SmokeMode();
 void RecordBenchResult(const std::string& name, double events_per_sec,
                        double bytes = 0.0);
 
+/// Per-op latency percentiles attached to a row (nanoseconds).
+struct LatencyStats {
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+};
+
+/// Row with latency percentiles: the JSON object additionally carries
+/// "p50_ns"/"p99_ns". Rows recorded through the two-argument overload are
+/// byte-identical to what older baselines contain.
+void RecordBenchResult(const std::string& name, double events_per_sec,
+                       double bytes, const LatencyStats& latency);
+
+/// Collects per-op latency samples and extracts percentiles. Sampling is
+/// deterministic (every `stride`-th op is timed) so runs are comparable;
+/// timing every op would perturb the throughput being measured.
+class LatencySampler {
+ public:
+  /// \param stride  time one op out of every `stride` (>= 1)
+  explicit LatencySampler(uint64_t stride = 64);
+
+  /// True when the upcoming op should be timed (call once per op).
+  bool ShouldSample();
+
+  /// Records one timed op's duration in nanoseconds.
+  void Record(double ns) { samples_.push_back(ns); }
+
+  /// Percentiles over the recorded samples (zeros when empty).
+  LatencyStats Stats() const;
+
+  size_t count() const { return samples_.size(); }
+
+ private:
+  uint64_t stride_;
+  uint64_t tick_ = 0;
+  std::vector<double> samples_;
+};
+
 /// `full` outside smoke mode, a tiny clamped count inside it. LoadDataset
 /// applies this automatically; benches that synthesize streams directly
 /// should route their event counts through it.

@@ -294,6 +294,24 @@ class EcmSketch {
     PointQueryBatchAt(keys, n, range, now, out, BatchQueryMode::kScalarSweep);
   }
 
+  /// Batched admission check for the keyed counter store: heavy_out[k] = 1
+  /// iff the sketch's point estimate of keys[k] over (now - range, now] is
+  /// at least `threshold` — decision-identical to `PointQueryAt(keys[k],
+  /// range, now) >= threshold` but evaluated through the batched row-major
+  /// kernel, so candidate bursts cost one Mix64 pass and d contiguous row
+  /// sweeps instead of n scattered probes.
+  void FlagHeavyKeysAt(const uint64_t* keys, size_t n, uint64_t range,
+                       Timestamp now, double threshold,
+                       uint8_t* heavy_out) const {
+    if (n == 0) return;
+    static thread_local std::vector<double> est;
+    est.resize(n);
+    PointQueryBatchAt(keys, n, range, now, est.data());
+    for (size_t k = 0; k < n; ++k) {
+      heavy_out[k] = est[k] >= threshold ? 1 : 0;
+    }
+  }
+
   /// Single-row contribution to a point query: the estimate of the one
   /// counter `key` hashes to in row `row`. The geometric point monitor
   /// (§6.2) treats the d per-row values as the key's statistics vector.

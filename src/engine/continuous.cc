@@ -113,8 +113,18 @@ void StreamEngine::EvaluateHitters(Timestamp ts) {
   }
 }
 
+KeyedCounterStore* StreamEngine::EnableKeyedStore(
+    const KeyedStoreConfig& config) {
+  keyed_store_ =
+      std::make_unique<KeyedCounterStore>(config, &site_.sketch());
+  return keyed_store_.get();
+}
+
 void StreamEngine::Ingest(uint64_t key, Timestamp ts, uint64_t count) {
   site_.Ingest(key, ts, count);
+  // The store sees each arrival after the sketch so its admission check
+  // includes the current event (the store's documented contract).
+  if (keyed_store_) keyed_store_->Add(key, ts, count);
   ++stats_.arrivals;
 
   // Point watches on the arriving key re-evaluate immediately (their
@@ -142,6 +152,7 @@ void StreamEngine::IngestBatch(const StreamEvent* events, size_t n) {
 size_t StreamEngine::MemoryBytes() const {
   size_t bytes = sizeof(*this) + site_.sketch().MemoryBytes();
   if (site_.dyadic()) bytes += site_.dyadic()->MemoryBytes();
+  if (keyed_store_) bytes += keyed_store_->MemoryBytes();
   return bytes;
 }
 

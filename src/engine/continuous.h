@@ -29,6 +29,7 @@
 #include "src/core/dyadic.h"
 #include "src/core/ecm_sketch.h"
 #include "src/dist/site.h"
+#include "src/engine/keyed_store.h"
 #include "src/stream/event.h"
 
 namespace ecm {
@@ -88,8 +89,34 @@ class StreamEngine {
   /// the form ParallelIngest workers and trace replays feed.
   void IngestBatch(const StreamEvent* events, size_t n);
 
+  /// Attaches a keyed counter store guarded by this engine's sketch:
+  /// every ingested arrival is co-fed to the store after the sketch, so
+  /// hot keys get exact sliding-window counters while the sketch covers
+  /// the rest of the universe. Replaces any previously enabled store.
+  KeyedCounterStore* EnableKeyedStore(const KeyedStoreConfig& config);
+
+  const KeyedCounterStore* keyed_store() const { return keyed_store_.get(); }
+  KeyedCounterStore* keyed_store() { return keyed_store_.get(); }
+
   /// Ad-hoc queries pass through to the sketch.
   double PointQuery(uint64_t key, uint64_t range) const {
+    return site_.sketch().PointQuery(key, range);
+  }
+
+  /// Point query preferring the exact per-key counter when the key is
+  /// resident in the keyed store, falling back to the sketch otherwise.
+  /// `exact_out` (optional) reports which path answered.
+  double PointQueryExact(uint64_t key, uint64_t range,
+                         bool* exact_out = nullptr) const {
+    if (keyed_store_) {
+      double est = 0.0;
+      if (keyed_store_->TryPointQuery(key, keyed_store_->clock(), range,
+                                      &est)) {
+        if (exact_out) *exact_out = true;
+        return est;
+      }
+    }
+    if (exact_out) *exact_out = false;
     return site_.sketch().PointQuery(key, range);
   }
   double SelfJoin(uint64_t range) const {
@@ -150,6 +177,9 @@ class StreamEngine {
   // Site (sketch + optional dyadic stack), the same observation-point
   // abstraction the distributed substrates are built on.
   Site<ExponentialHistogram> site_;
+  // Optional exact per-key counter store, admission-guarded by site_'s
+  // sketch (null until EnableKeyedStore).
+  std::unique_ptr<KeyedCounterStore> keyed_store_;
   std::vector<PointWatch> point_watches_;
   std::vector<SelfJoinWatch> selfjoin_watches_;
   std::vector<HitterWatch> hitter_watches_;

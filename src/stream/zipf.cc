@@ -67,4 +67,24 @@ uint64_t ZipfDistribution::Sample(Rng& rng) const {
   }
 }
 
+RotatingZipf::RotatingZipf(uint64_t n, double skew, uint64_t shift_every,
+                           uint64_t stride)
+    : zipf_(n, skew), shift_every_(shift_every), stride_(stride) {
+  assert(shift_every_ >= 1);
+  assert(stride_ >= 1);
+}
+
+uint64_t RotatingZipf::KeyForRank(uint64_t rank) const {
+  const uint64_t n = zipf_.n();
+  const uint64_t offset = static_cast<uint64_t>(
+      static_cast<unsigned __int128>(epoch() % n) * (stride_ % n) % n);
+  return 1 + (rank - 1 + offset) % n;
+}
+
+uint64_t RotatingZipf::Sample(Rng& rng) {
+  const uint64_t key = KeyForRank(zipf_.Sample(rng));
+  ++draws_;
+  return key;
+}
+
 }  // namespace ecm

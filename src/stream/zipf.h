@@ -39,6 +39,38 @@ class ZipfDistribution {
   double s_;
 };
 
+/// Zipf sampler whose hot-set *identity* drifts: every `shift_every`
+/// draws the rank->key mapping rotates by `stride`, so the heavy ranks
+/// land on fresh keys while the frequency profile stays exactly Zipf.
+/// This is the adversarial workload for admission-guarded stores: the
+/// hot set the guard admitted keeps going cold and a new one heats up.
+/// Fully deterministic given (n, skew, shift_every, stride) and the
+/// caller's Rng seed.
+class RotatingZipf {
+ public:
+  /// \param shift_every  draws between rotations (>= 1)
+  /// \param stride       key-space offset added per rotation (>= 1)
+  RotatingZipf(uint64_t n, double skew, uint64_t shift_every,
+               uint64_t stride);
+
+  /// Draws the next key in [1, n]; advances the rotation clock.
+  uint64_t Sample(Rng& rng);
+
+  /// Key that rank `rank` maps to at the current rotation (rank 1 is the
+  /// hottest). Exposed so tests and benches can find the current hot set.
+  uint64_t KeyForRank(uint64_t rank) const;
+
+  uint64_t epoch() const { return draws_ / shift_every_; }
+  uint64_t draws() const { return draws_; }
+  const ZipfDistribution& base() const { return zipf_; }
+
+ private:
+  ZipfDistribution zipf_;
+  uint64_t shift_every_;
+  uint64_t stride_;
+  uint64_t draws_ = 0;
+};
+
 }  // namespace ecm
 
 #endif  // ECM_STREAM_ZIPF_H_

@@ -1,0 +1,204 @@
+// Differential tests for the slab-arena exponential histogram: bit-identity
+// against ExponentialHistogram over randomized weighted add/expire/query
+// interleavings, invariance of estimates under extra wheel-driven Expire
+// calls (the property the keyed store's expiry wheel relies on), and slab
+// recycling / shrinking behaviour.
+
+#include "src/window/slab_eh.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/random.h"
+#include "src/window/exponential_histogram.h"
+
+namespace ecm {
+namespace {
+
+struct ParamCase {
+  double epsilon;
+  uint64_t window_len;
+};
+
+void ExpectSameBuckets(const SlabEhPool& pool, const SlabEhState& s,
+                       const ExponentialHistogram& eh) {
+  std::vector<BucketView> a = pool.Buckets(s);
+  std::vector<BucketView> b = eh.Buckets();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start, b[i].start) << "bucket " << i;
+    EXPECT_EQ(a[i].end, b[i].end) << "bucket " << i;
+    EXPECT_EQ(a[i].size, b[i].size) << "bucket " << i;
+  }
+}
+
+// Mirrored random ops on both implementations; every observable compared,
+// estimates with EXPECT_EQ (bit-identity, not tolerance).
+TEST(SlabEhTest, DifferentialBitIdentity) {
+  const ParamCase cases[] = {
+      {1.0, 64},      {0.5, 1},        {0.5, 1000},
+      {0.1, 100},     {0.1, 1 << 20},  {0.02, 5000},
+      {0.002, 4096},  // near the kMaxLevelCapacity bound
+  };
+  for (const ParamCase& pc : cases) {
+    SCOPED_TRACE(testing::Message()
+                 << "epsilon=" << pc.epsilon << " window=" << pc.window_len);
+    SlabEhPool pool(pc.epsilon, pc.window_len);
+    SlabEhState s;
+    ExponentialHistogram eh({pc.epsilon, pc.window_len});
+    ASSERT_EQ(pool.level_capacity(),
+              static_cast<size_t>(std::ceil(1.0 / pc.epsilon)) + 2);
+
+    Rng rng(0xABCD0001 + static_cast<uint64_t>(pc.window_len));
+    Timestamp ts = 0;
+    for (int op = 0; op < 4000; ++op) {
+      const uint64_t what = rng.Uniform(100);
+      if (what < 70) {
+        // Weighted add; occasional huge counts drive the closed-form path
+        // through many levels.
+        ts += rng.Uniform(std::max<uint64_t>(pc.window_len / 16, 2));
+        uint64_t count = 1;
+        const uint64_t shape = rng.Uniform(10);
+        if (shape >= 7) count = 1 + rng.Uniform(50);
+        if (shape == 9) count = 1 + rng.Uniform(1u << 20);
+        pool.Add(&s, ts, count);
+        eh.Add(ts, count);
+      } else if (what < 80) {
+        const Timestamp now = ts + rng.Uniform(pc.window_len + 2);
+        pool.Expire(&s, now);
+        eh.Expire(now);
+        ts = std::max(ts, now);
+      } else {
+        const Timestamp now = ts + rng.Uniform(pc.window_len / 4 + 2);
+        const uint64_t range = 1 + rng.Uniform(pc.window_len + pc.window_len / 2);
+        EXPECT_EQ(pool.Estimate(s, now, range), eh.Estimate(now, range))
+            << "op " << op << " now=" << now << " range=" << range;
+        EXPECT_EQ(pool.NextEstimateChangeAt(s, now, range),
+                  eh.NextEstimateChangeAt(now, range))
+            << "op " << op << " now=" << now << " range=" << range;
+      }
+      EXPECT_EQ(pool.BucketTotal(s), eh.BucketTotal());
+      EXPECT_EQ(pool.NumBuckets(s), eh.NumBuckets());
+      if (op % 257 == 0) ExpectSameBuckets(pool, s, eh);
+    }
+    ExpectSameBuckets(pool, s, eh);
+    pool.Release(&s);
+    EXPECT_EQ(pool.arena().LiveBlocks(), 0u);
+  }
+}
+
+// The expiry wheel calls Expire at times of its own choosing between adds;
+// every query issued before the next add must be unaffected by the firing
+// (bit-identical to a reference that did not expire). The next add's merge
+// cascade, however, legitimately depends on which stale buckets are still
+// present (the reference expires them after cascading, the wheel before),
+// so the reference is re-synced with a mirrored Expire before each add —
+// which is exactly how the keyed store's differential oracle mirrors wheel
+// firings via the eviction observer.
+TEST(SlabEhTest, EstimateInvariantUnderWheelExpiry) {
+  const ParamCase cases[] = {{0.5, 128}, {0.1, 1024}, {0.02, 1 << 16}};
+  for (const ParamCase& pc : cases) {
+    SCOPED_TRACE(testing::Message()
+                 << "epsilon=" << pc.epsilon << " window=" << pc.window_len);
+    SlabEhPool pool(pc.epsilon, pc.window_len);
+    SlabEhState s;
+    ExponentialHistogram eh({pc.epsilon, pc.window_len});
+
+    Rng rng(0xFEED0002);
+    Timestamp ts = 0;
+    // Last slab-only wheel firing not yet mirrored into the reference.
+    Timestamp pending_sync = 0;
+    for (int op = 0; op < 3000; ++op) {
+      const uint64_t what = rng.Uniform(10);
+      if (what < 6) {
+        if (pending_sync > 0) {
+          eh.Expire(pending_sync);
+          pending_sync = 0;
+        }
+        ts += rng.Uniform(pc.window_len / 8 + 2);
+        const uint64_t count = 1 + (rng.Uniform(4) == 0 ? rng.Uniform(999) : 0);
+        pool.Add(&s, ts, count);
+        eh.Add(ts, count);
+      } else if (what < 8) {
+        // Wheel fires on the slab side only; the clock advances with it.
+        ts += rng.Uniform(pc.window_len / 2 + 2);
+        pool.Expire(&s, ts);
+        pending_sync = ts;
+      } else {
+        // Queries between the firing and the next add see no difference.
+        const Timestamp now = ts + rng.Uniform(pc.window_len);
+        const uint64_t range = 1 + rng.Uniform(pc.window_len);
+        EXPECT_EQ(pool.Estimate(s, now, range), eh.Estimate(now, range))
+            << "op " << op << " now=" << now << " range=" << range;
+      }
+    }
+  }
+}
+
+TEST(SlabEhTest, EmptyStateBehaves) {
+  SlabEhPool pool(0.1, 100);
+  SlabEhState s;
+  EXPECT_EQ(pool.Estimate(s, 50, 100), 0.0);
+  EXPECT_EQ(pool.NextEstimateChangeAt(s, 50, 100), 0u);
+  EXPECT_EQ(pool.NumBuckets(s), 0u);
+  EXPECT_EQ(pool.BucketTotal(s), 0u);
+  pool.Expire(&s, 1000);   // no-op
+  pool.Release(&s);        // no-op
+  EXPECT_EQ(pool.arena().LiveBlocks(), 0u);
+}
+
+// Admission/eviction churn must recycle blocks: after the first round the
+// arena stops carving pages no matter how many evict/readmit cycles run.
+TEST(SlabEhTest, ArenaRecyclesFreedBlocks) {
+  SlabEhPool pool(0.1, 1 << 20);
+  constexpr int kKeys = 512;
+  std::vector<SlabEhState> states(kKeys);
+  Timestamp ts = 1;
+  for (int round = 0; round < 8; ++round) {
+    for (int k = 0; k < kKeys; ++k) {
+      for (int i = 0; i < 40; ++i) pool.Add(&states[k], ts += 1);
+    }
+    const size_t pages_after_first = pool.arena().NumPages();
+    for (int k = 0; k < kKeys; ++k) pool.Release(&states[k]);
+    EXPECT_EQ(pool.arena().LiveBlocks(), 0u);
+    if (round > 0) {
+      EXPECT_EQ(pool.arena().NumPages(), pages_after_first)
+          << "arena carved new pages despite free blocks, round " << round;
+    }
+  }
+}
+
+// A key that grew a large block and then cooled must hand the block back:
+// expiry shrinks the block class once occupancy drops to a quarter.
+TEST(SlabEhTest, ExpiryShrinksCooledBlocks) {
+  SlabEhPool pool(0.01, 1 << 24);
+  SlabEhState s;
+  Timestamp ts = 1;
+  for (int i = 0; i < 20000; ++i) pool.Add(&s, ts += 8);
+  const size_t hot_buckets = pool.NumBuckets(s);
+  ASSERT_GT(hot_buckets, 200u);
+  // Let almost everything expire, keeping only the most recent content.
+  pool.Add(&s, ts += 1);
+  pool.Expire(&s, ts + (1 << 24) - 64);
+  ASSERT_GT(pool.NumBuckets(s), 0u);
+  ASSERT_LT(pool.NumBuckets(s), 32u);
+  EXPECT_LE(SlabArena::ClassSlots(s.cls), 128u)
+      << "cooled key kept an oversized slab block";
+  // Full expiry frees the block entirely.
+  pool.Expire(&s, ts + (1ULL << 25));
+  EXPECT_EQ(pool.NumBuckets(s), 0u);
+  EXPECT_EQ(s.block, SlabArena::kNullBlock);
+  EXPECT_EQ(pool.arena().LiveBlocks(), 0u);
+}
+
+// The slab header plus amortized slab slots stay far below the
+// map<key, shared_ptr<EH>> shape this store replaces; sanity-pin the
+// per-key state size so regressions are loud.
+TEST(SlabEhTest, StateHeaderStaysSmall) {
+  EXPECT_LE(sizeof(SlabEhState), 32u);
+}
+
+}  // namespace
+}  // namespace ecm

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <map>
 #include <numeric>
+#include <set>
 
 #include "src/stream/generators.h"
 #include "src/stream/snmp_like.h"
@@ -67,6 +68,49 @@ TEST(ZipfTest, SkewOneVsSkewTwoConcentration) {
     if (strong.Sample(rng) <= 10) ++strong_head;
   }
   EXPECT_GT(strong_head, mild_head);
+}
+
+TEST(RotatingZipfTest, DeterministicPerSeed) {
+  RotatingZipf a(5000, 1.1, /*shift_every=*/1000, /*stride=*/97);
+  RotatingZipf b(5000, 1.1, /*shift_every=*/1000, /*stride=*/97);
+  Rng ra(0x207A7E), rb(0x207A7E);
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_EQ(a.Sample(ra), b.Sample(rb)) << "draw " << i;
+  }
+  EXPECT_EQ(a.epoch(), 20u);
+  EXPECT_EQ(a.draws(), 20000u);
+}
+
+TEST(RotatingZipfTest, HotSetIdentityDrifts) {
+  constexpr uint64_t kShift = 5000;
+  RotatingZipf rot(100000, 1.2, kShift, /*stride=*/1313);
+  Rng rng(0xD21F7);
+  const uint64_t hot0 = rot.KeyForRank(1);
+  std::map<uint64_t, int> epoch0, epoch1;
+  for (uint64_t i = 0; i < kShift; ++i) ++epoch0[rot.Sample(rng)];
+  EXPECT_EQ(rot.epoch(), 1u);
+  const uint64_t hot1 = rot.KeyForRank(1);
+  EXPECT_NE(hot0, hot1) << "rotation left the hottest key in place";
+  for (uint64_t i = 0; i < kShift; ++i) ++epoch1[rot.Sample(rng)];
+  // Within each epoch, the epoch's own hottest key dominates the other
+  // epoch's: the frequency profile moved with the rotation.
+  EXPECT_GT(epoch0[hot0], epoch0[hot1]);
+  EXPECT_GT(epoch1[hot1], epoch1[hot0]);
+  EXPECT_GT(epoch0[hot0] * 2, static_cast<int>(kShift) / 10);
+}
+
+TEST(RotatingZipfTest, RotationPreservesDomainAndProfile) {
+  RotatingZipf rot(64, 1.0, /*shift_every=*/100, /*stride=*/7);
+  Rng rng(0x9944);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t k = rot.Sample(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 64u);
+  }
+  // Rank mapping is a bijection at every epoch.
+  std::set<uint64_t> image;
+  for (uint64_t r = 1; r <= 64; ++r) image.insert(rot.KeyForRank(r));
+  EXPECT_EQ(image.size(), 64u);
 }
 
 TEST(ZipfStreamTest, DeterministicPerSeed) {

@@ -14,6 +14,10 @@ then checks every row present in BOTH sides:
     above baseline * (1 + bytes-tolerance) — wire/memory accounting is
     deterministic, so this is a much tighter screw than throughput.
 
+Absolute caps that need no baseline row: --ceiling GLOB=BYTES bounds a
+row's bytes footprint, and --p99-ceiling GLOB=NS bounds its recorded
+p99 per-op latency (rows without latency samples are never checked).
+
 Rows matching an --allow glob (fnmatch) are reported but never fail the
 gate — use this for rows whose smoke numbers are inherently noisy (e.g.
 '*/parallel-ingest/*', which measures thread scaling on whatever cores
@@ -34,7 +38,10 @@ import sys
 
 
 def load_rows(path):
-    """Returns {name: (events_per_sec, bytes)} from one bench JSON file."""
+    """Returns {name: (events_per_sec, bytes, p99_ns)} per bench JSON file.
+
+    p99_ns is 0.0 for rows that do not record per-op latency.
+    """
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
     rows = {}
@@ -45,6 +52,7 @@ def load_rows(path):
         rows[name] = (
             float(row.get("events_per_sec", 0.0)),
             float(row.get("bytes", 0.0)),
+            float(row.get("p99_ns", 0.0)),
         )
     return rows
 
@@ -95,18 +103,36 @@ def main():
         "Use for deterministic wire-volume rows (e.g. the compression "
         "channels) where a hard cap is meaningful.",
     )
+    parser.add_argument(
+        "--p99-ceiling",
+        action="append",
+        default=[],
+        metavar="GLOB=NS",
+        help="absolute p99 per-op latency ceiling in nanoseconds for rows "
+        "matching GLOB (repeatable). Applies to current rows that record "
+        "p99_ns; rows without latency samples never match.",
+    )
     args = parser.parse_args()
 
-    ceilings = []
-    for spec in args.ceiling:
-        glob_part, sep, bytes_part = spec.rpartition("=")
-        try:
-            if not sep or not glob_part:
-                raise ValueError("missing '='")
-            ceilings.append((glob_part, float(bytes_part)))
-        except ValueError:
-            print(f"error: bad --ceiling spec {spec!r} (want GLOB=BYTES)")
-            return 2
+    def parse_caps(specs, what):
+        caps = []
+        for spec in specs:
+            glob_part, sep, num_part = spec.rpartition("=")
+            try:
+                if not sep or not glob_part:
+                    raise ValueError("missing '='")
+                caps.append((glob_part, float(num_part)))
+            except ValueError:
+                print(f"error: bad {what} spec {spec!r} (want GLOB=NUMBER)")
+                return None
+        return caps
+
+    ceilings = parse_caps(args.ceiling, "--ceiling")
+    if ceilings is None:
+        return 2
+    p99_ceilings = parse_caps(args.p99_ceiling, "--p99-ceiling")
+    if p99_ceilings is None:
+        return 2
 
     try:
         baseline = load_rows(args.baseline)
@@ -142,8 +168,8 @@ def main():
         f"verdict"
     )
     for name in compared:
-        base_rate, base_bytes = baseline[name]
-        cur_rate, cur_bytes = current[name]
+        base_rate, base_bytes, _ = baseline[name]
+        cur_rate, cur_bytes, _ = current[name]
         allowed = any(fnmatch.fnmatch(name, g) for g in args.allow)
         problems = []
         if base_rate > 0 and cur_rate < base_rate * (1.0 - args.tolerance):
@@ -170,10 +196,10 @@ def main():
             f"{verdict}"
         )
 
-    if ceilings:
+    if ceilings or p99_ceilings:
         print()
         for name in sorted(current):
-            _, cur_bytes = current[name]
+            _, cur_bytes, cur_p99 = current[name]
             for glob_part, cap in ceilings:
                 if not fnmatch.fnmatch(name, glob_part):
                     continue
@@ -187,6 +213,20 @@ def main():
                     print(
                         f"{name}: bytes {cur_bytes:.0f} within ceiling "
                         f"{cap:.0f} ({glob_part})"
+                    )
+            for glob_part, cap in p99_ceilings:
+                if not fnmatch.fnmatch(name, glob_part) or cur_p99 <= 0:
+                    continue
+                if cur_p99 > cap:
+                    print(
+                        f"{name}: p99 {cur_p99:.0f}ns exceeds ceiling "
+                        f"{cap:.0f}ns ({glob_part})"
+                    )
+                    failures.append(name + " [p99-ceiling]")
+                else:
+                    print(
+                        f"{name}: p99 {cur_p99:.0f}ns within ceiling "
+                        f"{cap:.0f}ns ({glob_part})"
                     )
 
     if only_base:
